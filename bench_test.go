@@ -1,0 +1,241 @@
+package emblookup_test
+
+// The benchmark harness regenerates every table and figure of the paper
+// (one Benchmark per experiment — each iteration produces the full report)
+// plus micro-benchmarks for the operations whose costs the paper's speedup
+// claims rest on: embedding inference, compressed and exact lookup, bulk
+// batching, and the baseline services.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// Regenerate one table at a larger scale with the CLI instead:
+//
+//	go run ./cmd/experiments -run table2 -entities 4000
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"emblookup/internal/baselines"
+	"emblookup/internal/core"
+	"emblookup/internal/experiments"
+	"emblookup/internal/kg"
+	"emblookup/internal/lookup"
+	"emblookup/internal/mathx"
+	"emblookup/internal/quant"
+	"emblookup/internal/tabular"
+)
+
+// ---- shared fixtures -------------------------------------------------
+
+var (
+	envOnce  sync.Once
+	benchEnv *experiments.Env
+
+	modelOnce  sync.Once
+	benchGraph *kg.Graph
+	benchModel *core.EmbLookup // compressed
+	benchNC    *core.EmbLookup // uncompressed
+)
+
+// env lazily builds the shared experiment environment at bench scale.
+func env(b *testing.B) *experiments.Env {
+	b.Helper()
+	envOnce.Do(func() {
+		o := experiments.TestOptions()
+		o.Entities = 500
+		o.WikidataTables = 20
+		o.DBPediaTables = 10
+		o.ToughTableCount = 2
+		o.AliasVariants = 1
+		e, err := experiments.NewEnv(o)
+		if err != nil {
+			panic(err)
+		}
+		benchEnv = e
+	})
+	return benchEnv
+}
+
+// model lazily trains one EmbLookup over a 2000-entity graph for the
+// micro-benchmarks.
+func model(b *testing.B) (*kg.Graph, *core.EmbLookup, *core.EmbLookup) {
+	b.Helper()
+	modelOnce.Do(func() {
+		g, _ := kg.Generate(kg.DefaultGeneratorConfig(kg.WikidataProfile, 2000))
+		cfg := core.FastConfig()
+		cfg.Epochs = 4
+		m, err := core.Train(g, cfg)
+		if err != nil {
+			panic(err)
+		}
+		nc, err := m.WithCompression(false)
+		if err != nil {
+			panic(err)
+		}
+		benchGraph, benchModel, benchNC = g, m, nc
+	})
+	return benchGraph, benchModel, benchNC
+}
+
+// ---- one benchmark per paper table/figure ----------------------------
+
+func benchExperiment(b *testing.B, id string) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := e.Run(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep.Render(io.Discard)
+	}
+}
+
+func BenchmarkTableI(b *testing.B)    { benchExperiment(b, "table1") }
+func BenchmarkTableII(b *testing.B)   { benchExperiment(b, "table2") }
+func BenchmarkTableIII(b *testing.B)  { benchExperiment(b, "table3") }
+func BenchmarkTableIV(b *testing.B)   { benchExperiment(b, "table4") }
+func BenchmarkTableV(b *testing.B)    { benchExperiment(b, "table5") }
+func BenchmarkTableVI(b *testing.B)   { benchExperiment(b, "table6") }
+func BenchmarkTableVII(b *testing.B)  { benchExperiment(b, "table7") }
+func BenchmarkTableVIII(b *testing.B) { benchExperiment(b, "table8") }
+func BenchmarkFigure3(b *testing.B)   { benchExperiment(b, "figure3") }
+func BenchmarkFigure4(b *testing.B)   { benchExperiment(b, "figure4") }
+func BenchmarkFigure5(b *testing.B)   { benchExperiment(b, "figure5") }
+func BenchmarkAblations(b *testing.B) { benchExperiment(b, "ablations") }
+
+// ---- micro-benchmarks: the operations behind the speedup claims ------
+
+func BenchmarkEmbed(b *testing.B) {
+	_, m, _ := model(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Embed("Bramonia Ridge")
+	}
+}
+
+func BenchmarkLookupPQ(b *testing.B) {
+	_, m, _ := model(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Lookup("Bramonia Ridge", 10)
+	}
+}
+
+func BenchmarkLookupFlat(b *testing.B) {
+	_, _, nc := model(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nc.Lookup("Bramonia Ridge", 10)
+	}
+}
+
+func BenchmarkBulkLookup(b *testing.B) {
+	g, m, _ := model(b)
+	queries := make([]string, 256)
+	for i := range queries {
+		queries[i] = g.Entities[i%len(g.Entities)].Label
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.BulkLookup(queries, 10, 0)
+	}
+}
+
+func benchBaseline(b *testing.B, build func(*lookup.Corpus) lookup.Service) {
+	g, _, _ := model(b)
+	svc := build(lookup.CorpusFromGraph(g, false))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		svc.Lookup("Bramonia Ridge", 10)
+	}
+}
+
+func BenchmarkBaselineExact(b *testing.B) {
+	benchBaseline(b, func(c *lookup.Corpus) lookup.Service { return baselines.NewExact(c) })
+}
+
+func BenchmarkBaselineElastic(b *testing.B) {
+	benchBaseline(b, func(c *lookup.Corpus) lookup.Service { return baselines.NewElastic(c) })
+}
+
+func BenchmarkBaselineFuzzyWuzzy(b *testing.B) {
+	benchBaseline(b, func(c *lookup.Corpus) lookup.Service { return baselines.NewFuzzyWuzzy(c) })
+}
+
+func BenchmarkBaselineLevenshtein(b *testing.B) {
+	benchBaseline(b, func(c *lookup.Corpus) lookup.Service { return baselines.NewLevenshteinScan(c) })
+}
+
+func BenchmarkBaselineQGram(b *testing.B) {
+	benchBaseline(b, func(c *lookup.Corpus) lookup.Service { return baselines.NewQGram(c) })
+}
+
+func BenchmarkBaselineLSH(b *testing.B) {
+	benchBaseline(b, func(c *lookup.Corpus) lookup.Service { return baselines.NewLSH(c) })
+}
+
+func BenchmarkPQEncode(b *testing.B) {
+	data := mathx.NewMatrix(1000, 64)
+	data.FillRandn(mathx.NewRNG(1), 1)
+	pq, err := quant.TrainPQ(data, quant.PQConfig{M: 8, Ks: 64, Iters: 8, Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	code := make([]byte, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pq.EncodeInto(data.Row(i%data.Rows), code)
+	}
+}
+
+func BenchmarkPQADCScan(b *testing.B) {
+	data := mathx.NewMatrix(10000, 64)
+	data.FillRandn(mathx.NewRNG(3), 1)
+	pq, err := quant.TrainPQ(data, quant.PQConfig{M: 8, Ks: 64, Iters: 5, Seed: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	codes := make([][]byte, data.Rows)
+	for i := range codes {
+		codes[i] = pq.Encode(data.Row(i))
+	}
+	q := data.Row(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		table := pq.ADCTable(q)
+		var best float32 = 1e30
+		for _, c := range codes {
+			if d := pq.ADCDistance(table, c); d < best {
+				best = d
+			}
+		}
+	}
+}
+
+func BenchmarkTrain(b *testing.B) {
+	g, _ := kg.Generate(kg.DefaultGeneratorConfig(kg.WikidataProfile, 300))
+	cfg := core.FastConfig()
+	cfg.Epochs = 2
+	cfg.TripletsPerEntity = 8
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Train(g, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNoiseInjection(b *testing.B) {
+	g, s := kg.Generate(kg.DefaultGeneratorConfig(kg.WikidataProfile, 500))
+	ds := tabular.GenerateDataset(g, s, tabular.DefaultDatasetConfig(tabular.STWikidata, 20))
+	in := tabular.NewInjector(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in.Apply(ds)
+	}
+}

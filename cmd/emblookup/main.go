@@ -1,0 +1,252 @@
+// Command emblookup is the end-to-end CLI for the library: generate a
+// synthetic knowledge graph, train an EmbLookup model over it, and run
+// lookups against the trained index.
+//
+// Usage:
+//
+//	emblookup gen   -entities 2000 -profile wikidata -out graph.bin
+//	emblookup train -graph graph.bin -out model.bin [-epochs 6] [-dim 64]
+//	emblookup query -graph graph.bin -model model.bin -k 10 "Germany" "Germoney" ...
+//	emblookup bulk  -graph graph.bin -model model.bin -in queries.txt -k 10
+//	emblookup serve -graph graph.bin -model model.bin -addr :8080
+//	emblookup stats -graph graph.bin
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"emblookup/internal/core"
+	"emblookup/internal/kg"
+	"emblookup/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gen":
+		cmdGen(os.Args[2:])
+	case "train":
+		cmdTrain(os.Args[2:])
+	case "query":
+		cmdQuery(os.Args[2:])
+	case "serve":
+		cmdServe(os.Args[2:])
+	case "bulk":
+		cmdBulk(os.Args[2:])
+	case "stats":
+		cmdStats(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: emblookup <gen|train|query|bulk|serve|stats> [flags]")
+	os.Exit(2)
+}
+
+// cmdBulk runs the bulk-lookup mode the paper optimizes for: one query per
+// input line (stdin or -in), tab-separated results on stdout, batched
+// across all cores.
+func cmdBulk(args []string) {
+	fs := flag.NewFlagSet("bulk", flag.ExitOnError)
+	graphPath := fs.String("graph", "graph.bin", "graph file")
+	modelPath := fs.String("model", "model.bin", "model file")
+	inPath := fs.String("in", "-", "query file, one query per line ('-' = stdin)")
+	k := fs.Int("k", 10, "results per query")
+	parallelism := fs.Int("parallel", 0, "worker count (0 = all cores)")
+	fs.Parse(args)
+
+	g, err := kg.LoadFile(*graphPath)
+	if err != nil {
+		log.Fatalf("loading graph: %v", err)
+	}
+	model, err := core.LoadFile(*modelPath, g)
+	if err != nil {
+		log.Fatalf("loading model: %v", err)
+	}
+
+	in := os.Stdin
+	if *inPath != "-" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			log.Fatalf("opening queries: %v", err)
+		}
+		defer f.Close()
+		in = f
+	}
+	var queries []string
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		if q := strings.TrimSpace(sc.Text()); q != "" {
+			queries = append(queries, q)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatalf("reading queries: %v", err)
+	}
+
+	start := time.Now()
+	results := model.BulkLookup(queries, *k, *parallelism)
+	elapsed := time.Since(start)
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	for i, q := range queries {
+		fmt.Fprintf(w, "%s", q)
+		for _, c := range results[i] {
+			fmt.Fprintf(w, "\t%s(%d)", g.Label(c.ID), c.ID)
+		}
+		fmt.Fprintln(w)
+	}
+	log.Printf("%d queries in %v (%v/query)", len(queries),
+		elapsed.Round(time.Millisecond), (elapsed / time.Duration(max(1, len(queries)))).Round(time.Microsecond))
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// cmdServe exposes the lookup service over HTTP:
+//
+//	GET /lookup?q=Germoney&k=10
+//
+// responds with a JSON candidate list. This is the "transparent
+// replacement for remote lookup services" deployment shape from the paper.
+func cmdServe(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	graphPath := fs.String("graph", "graph.bin", "graph file")
+	modelPath := fs.String("model", "model.bin", "model file")
+	addr := fs.String("addr", ":8080", "listen address")
+	fs.Parse(args)
+
+	g, err := kg.LoadFile(*graphPath)
+	if err != nil {
+		log.Fatalf("loading graph: %v", err)
+	}
+	model, err := core.LoadFile(*modelPath, g)
+	if err != nil {
+		log.Fatalf("loading model: %v", err)
+	}
+	log.Printf("serving lookups on %s (graph: %s, %d entities)", *addr, g.Name, len(g.Entities))
+	log.Fatal(http.ListenAndServe(*addr, server.New(g, model).Handler()))
+}
+
+func cmdGen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	entities := fs.Int("entities", 2000, "entity count")
+	profile := fs.String("profile", "wikidata", "wikidata|dbpedia")
+	seed := fs.Uint64("seed", 42, "generator seed")
+	out := fs.String("out", "graph.bin", "output path")
+	fs.Parse(args)
+
+	p := kg.WikidataProfile
+	if *profile == "dbpedia" {
+		p = kg.DBPediaProfile
+	}
+	cfg := kg.DefaultGeneratorConfig(p, *entities)
+	cfg.Seed = *seed
+	g, _ := kg.Generate(cfg)
+	if err := g.SaveFile(*out); err != nil {
+		log.Fatalf("saving graph: %v", err)
+	}
+	log.Printf("wrote %s: %s", *out, g.Stats())
+}
+
+func cmdTrain(args []string) {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	graphPath := fs.String("graph", "graph.bin", "graph file from `emblookup gen`")
+	out := fs.String("out", "model.bin", "output model path")
+	dim := fs.Int("dim", 64, "embedding dimension")
+	epochs := fs.Int("epochs", 6, "training epochs (half offline, half online-mined)")
+	triplets := fs.Int("triplets", 20, "triplets mined per entity")
+	compress := fs.Bool("compress", true, "product-quantize the index")
+	paper := fs.Bool("paper", false, "use the full paper configuration (100 epochs, 100 triplets/entity)")
+	fs.Parse(args)
+
+	g, err := kg.LoadFile(*graphPath)
+	if err != nil {
+		log.Fatalf("loading graph: %v", err)
+	}
+	cfg := core.FastConfig()
+	if *paper {
+		cfg = core.DefaultConfig()
+	}
+	cfg.Dim = *dim
+	if !*paper {
+		cfg.Epochs = *epochs
+		cfg.TripletsPerEntity = *triplets
+	}
+	cfg.Compress = *compress
+
+	start := time.Now()
+	model, err := core.Train(g, cfg, core.WithLogf(log.Printf))
+	if err != nil {
+		log.Fatalf("training: %v", err)
+	}
+	log.Printf("trained in %v; index %d rows, %d payload bytes",
+		time.Since(start).Round(time.Millisecond), model.Index().Len(), model.Index().SizeBytes())
+	if err := model.SaveFile(*out); err != nil {
+		log.Fatalf("saving model: %v", err)
+	}
+	log.Printf("wrote %s", *out)
+}
+
+func cmdQuery(args []string) {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	graphPath := fs.String("graph", "graph.bin", "graph file")
+	modelPath := fs.String("model", "model.bin", "model file from `emblookup train`")
+	k := fs.Int("k", 10, "results per query")
+	fs.Parse(args)
+	queries := fs.Args()
+	if len(queries) == 0 {
+		log.Fatal("query: provide at least one query string")
+	}
+
+	g, err := kg.LoadFile(*graphPath)
+	if err != nil {
+		log.Fatalf("loading graph: %v", err)
+	}
+	model, err := core.LoadFile(*modelPath, g)
+	if err != nil {
+		log.Fatalf("loading model: %v", err)
+	}
+	for _, q := range queries {
+		start := time.Now()
+		res := model.Lookup(q, *k)
+		elapsed := time.Since(start)
+		fmt.Printf("%q (%v):\n", q, elapsed.Round(time.Microsecond))
+		for i, c := range res {
+			e := g.Entity(c.ID)
+			types := ""
+			for _, t := range e.Types {
+				types += " " + g.TypeName(t)
+			}
+			fmt.Printf("  %2d. %-32s score=%.3f types:%s\n", i+1, e.Label, c.Score, types)
+		}
+	}
+}
+
+func cmdStats(args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	graphPath := fs.String("graph", "graph.bin", "graph file")
+	fs.Parse(args)
+	g, err := kg.LoadFile(*graphPath)
+	if err != nil {
+		log.Fatalf("loading graph: %v", err)
+	}
+	fmt.Println(g.Stats())
+}

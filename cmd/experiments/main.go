@@ -1,0 +1,78 @@
+// Command experiments regenerates the paper's tables and figures over the
+// synthetic substrate.
+//
+// Usage:
+//
+//	experiments [-run table2,figure4] [-scale test|default] [-entities N] [-v]
+//
+// With no -run it regenerates everything in order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"emblookup/internal/experiments"
+)
+
+func main() {
+	runIDs := flag.String("run", "", "comma-separated experiment ids (default: all); one of "+strings.Join(experiments.AllIDs(), ","))
+	scale := flag.String("scale", "default", "test|default — environment size")
+	entities := flag.Int("entities", 0, "override entity count per knowledge graph")
+	tables := flag.Int("tables", 0, "override ST-Wikidata table count (others scale proportionally)")
+	verbose := flag.Bool("v", false, "log progress")
+	flag.Parse()
+
+	var opts experiments.Options
+	switch *scale {
+	case "test":
+		opts = experiments.TestOptions()
+	case "default":
+		opts = experiments.DefaultOptions()
+	default:
+		log.Fatalf("unknown -scale %q", *scale)
+	}
+	if *entities > 0 {
+		opts.Entities = *entities
+	}
+	if *tables > 0 {
+		opts.WikidataTables = *tables
+		opts.DBPediaTables = *tables / 2
+		opts.ToughTableCount = *tables / 12
+		if opts.ToughTableCount < 1 {
+			opts.ToughTableCount = 1
+		}
+	}
+	if *verbose {
+		opts.Logf = log.Printf
+	}
+
+	ids := experiments.AllIDs()
+	if *runIDs != "" {
+		ids = strings.Split(*runIDs, ",")
+	}
+
+	start := time.Now()
+	env, err := experiments.NewEnv(opts)
+	if err != nil {
+		log.Fatalf("building environment: %v", err)
+	}
+	if *verbose {
+		log.Printf("environment ready in %v", time.Since(start).Round(time.Millisecond))
+	}
+
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		expStart := time.Now()
+		rep, err := env.Run(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep.Render(os.Stdout)
+		fmt.Printf("  (regenerated in %v)\n\n", time.Since(expStart).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,14 @@
+// Package emblookup is a from-scratch Go reproduction of "Accelerating
+// Entity Lookups in Knowledge Graphs Through Embeddings" (ICDE 2022): the
+// EmbLookup learned-embedding lookup service, every substrate it depends on
+// (neural network stack, fastText-style subword model, triplet mining,
+// product quantization, FAISS-style indexes, synthetic knowledge graphs and
+// SemTab-style benchmarks, baseline lookup services, and the downstream
+// annotation systems), and a harness that regenerates every table and
+// figure of the paper's evaluation.
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and substitution map, and EXPERIMENTS.md for paper-vs-measured
+// results. The root package holds only the benchmark harness
+// (bench_test.go); the implementation lives under internal/.
+package emblookup

@@ -1,0 +1,81 @@
+// Quickstart: generate a small knowledge graph, train EmbLookup on it, and
+// run syntactic, noisy, and semantic lookups against the index.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"emblookup/internal/core"
+	"emblookup/internal/kg"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. A knowledge graph. Real deployments would load Wikidata/DBPedia;
+	// the library ships a deterministic synthetic generator with the same
+	// structure (labels, aliases, types, facts).
+	g, _ := kg.Generate(kg.DefaultGeneratorConfig(kg.WikidataProfile, 800))
+	log.Printf("graph: %s", g.Stats())
+
+	// 2. Train the lookup model: the fastText-style semantic path on
+	// synonym pairs, then the character CNN + combiner with triplet loss,
+	// then the product-quantized entity index (8 bytes per entity).
+	cfg := core.FastConfig()
+	start := time.Now()
+	model, err := core.Train(g, cfg, core.WithLogf(log.Printf))
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("trained in %v; index payload %d bytes for %d entities",
+		time.Since(start).Round(time.Millisecond), model.Index().SizeBytes(), model.Index().Len())
+
+	// 3. Look things up. Pick an entity and query it three ways: exact
+	// label, misspelled, and through one of its aliases.
+	var target *kg.Entity
+	for i := range g.Entities {
+		if len(g.Entities[i].Aliases) >= 2 && len(g.Entities[i].Label) > 6 {
+			target = &g.Entities[i]
+			break
+		}
+	}
+	queries := []string{
+		target.Label,       // exact
+		typo(target.Label), // misspelled
+		target.Aliases[0],  // alias (semantic lookup)
+	}
+	for _, q := range queries {
+		res := model.Lookup(q, 5)
+		fmt.Printf("\nlookup(%q, 5):\n", q)
+		for i, c := range res {
+			hit := " "
+			if c.ID == target.ID {
+				hit = "*"
+			}
+			fmt.Printf("  %s %d. %s (score %.3f)\n", hit, i+1, g.Label(c.ID), c.Score)
+		}
+	}
+
+	// 4. Bulk mode: the batched path the GPU columns of the paper measure.
+	batch := make([]string, 0, 200)
+	for i := 0; i < 200; i++ {
+		batch = append(batch, g.Entities[i%len(g.Entities)].Label)
+	}
+	start = time.Now()
+	model.BulkLookup(batch, 10, 0)
+	fmt.Printf("\nbulk: %d lookups in %v (%v/query)\n",
+		len(batch), time.Since(start).Round(time.Microsecond),
+		(time.Since(start) / time.Duration(len(batch))).Round(time.Microsecond))
+}
+
+// typo drops the third character.
+func typo(s string) string {
+	if len(s) < 4 {
+		return s + "x"
+	}
+	return s[:2] + s[3:]
+}

@@ -1,0 +1,3 @@
+module emblookup
+
+go 1.22

@@ -1,0 +1,181 @@
+package altembed
+
+import (
+	"testing"
+
+	"emblookup/internal/kg"
+	"emblookup/internal/mathx"
+	"emblookup/internal/tabular"
+)
+
+func graph(t *testing.T) *kg.Graph {
+	t.Helper()
+	g, _ := kg.Generate(kg.DefaultGeneratorConfig(kg.WikidataProfile, 300))
+	return g
+}
+
+func recallAt10(s *Service, g *kg.Graph, corrupt func(string, *mathx.RNG) string) float64 {
+	rng := mathx.NewRNG(42)
+	hits, n := 0, 0
+	for i := 0; i < 150; i++ {
+		e := &g.Entities[rng.Intn(len(g.Entities))]
+		q := e.Label
+		if corrupt != nil {
+			q = corrupt(q, rng)
+		}
+		n++
+		for _, c := range s.Lookup(q, 10) {
+			if c.ID == e.ID {
+				hits++
+				break
+			}
+		}
+	}
+	return float64(hits) / float64(n)
+}
+
+func TestWord2VecCleanVsTypos(t *testing.T) {
+	g := graph(t)
+	w2v := TrainWord2Vec(g, DefaultWord2VecConfig())
+	if w2v.VocabSize() == 0 {
+		t.Fatal("empty vocabulary")
+	}
+	svc := NewService(g, w2v)
+	clean := recallAt10(svc, g, nil)
+	noisy := recallAt10(svc, g, func(s string, r *mathx.RNG) string {
+		return tabular.ApplyNoise(s, tabular.DropLetters, r)
+	})
+	if clean < 0.5 {
+		t.Fatalf("word2vec clean recall = %.2f, want >= 0.5", clean)
+	}
+	// The paper's defining observation: word2vec collapses under typos
+	// (0.72 -> 0.29) because corrupted words are OOV.
+	if noisy > clean-0.2 {
+		t.Fatalf("word2vec should collapse under typos: clean=%.2f noisy=%.2f", clean, noisy)
+	}
+}
+
+func TestWord2VecOOVEmbedsZero(t *testing.T) {
+	g := graph(t)
+	w2v := TrainWord2Vec(g, DefaultWord2VecConfig())
+	v := w2v.Embed("zzzqqqxxx totallyunknown")
+	for _, x := range v {
+		if x != 0 {
+			t.Fatal("OOV string should embed to zero")
+		}
+	}
+}
+
+func TestRawFastTextSurvivesTypos(t *testing.T) {
+	g := graph(t)
+	ft := TrainRawFastText(g, 64, 6, 3)
+	svc := NewService(g, ft)
+	clean := recallAt10(svc, g, nil)
+	noisy := recallAt10(svc, g, func(s string, r *mathx.RNG) string {
+		return tabular.ApplyNoise(s, tabular.DropLetters, r)
+	})
+	if clean < 0.6 {
+		t.Fatalf("fasttext clean recall = %.2f", clean)
+	}
+	// Subword sharing keeps most of the recall under letter noise
+	// (0.76 -> 0.72 in the paper).
+	if noisy < clean-0.35 {
+		t.Fatalf("fasttext degraded too much: clean=%.2f noisy=%.2f", clean, noisy)
+	}
+}
+
+func TestBERTProxyMiddleGround(t *testing.T) {
+	g := graph(t)
+	svc := NewService(g, TrainBERTProxy(g, 64, 5))
+	clean := recallAt10(svc, g, nil)
+	if clean < 0.4 {
+		t.Fatalf("bert proxy clean recall = %.2f, want >= 0.4", clean)
+	}
+}
+
+func TestLSTMTrainsAndRanksWell(t *testing.T) {
+	g := graph(t)
+	cfg := DefaultLSTMConfig()
+	cfg.Epochs = 2
+	cfg.TripletsPerEntity = 8
+	lstm := TrainLSTM(g, cfg)
+	svc := NewService(g, lstm)
+	clean := recallAt10(svc, g, nil)
+	if clean < 0.5 {
+		t.Fatalf("lstm clean recall = %.2f, want >= 0.5", clean)
+	}
+}
+
+func TestServiceLookupBasics(t *testing.T) {
+	g := graph(t)
+	svc := NewService(g, TrainRawFastText(g, 32, 3, 9))
+	if svc.Lookup("anything", 0) != nil {
+		t.Fatal("k=0 should be nil")
+	}
+	res := svc.Lookup(g.Entities[0].Label, 5)
+	if len(res) != 5 {
+		t.Fatalf("got %d results", len(res))
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].Score > res[i-1].Score {
+			t.Fatal("results not sorted")
+		}
+	}
+	// Self should be the nearest.
+	if res[0].ID != g.Entities[0].ID {
+		t.Fatalf("self not first: %+v", res[0])
+	}
+}
+
+func TestFlatIndexMatchesBruteForce(t *testing.T) {
+	data := mathx.NewMatrix(100, 8)
+	data.FillRandn(mathx.NewRNG(7), 1)
+	f := flatIndex{data: data}
+	rng := mathx.NewRNG(8)
+	for trial := 0; trial < 10; trial++ {
+		q := make([]float32, 8)
+		for i := range q {
+			q[i] = float32(rng.NormFloat64())
+		}
+		hits := f.search(q, 5)
+		if len(hits) != 5 {
+			t.Fatalf("got %d hits", len(hits))
+		}
+		// Verify ordering and correctness of the minimum.
+		bestDist := float32(3.4e38)
+		for i := 0; i < data.Rows; i++ {
+			if d := mathx.SquaredL2(q, data.Row(i)); d < bestDist {
+				bestDist = d
+			}
+		}
+		if hits[0].dist != bestDist {
+			t.Fatal("nearest hit mismatch")
+		}
+		for i := 1; i < len(hits); i++ {
+			if hits[i].dist < hits[i-1].dist {
+				t.Fatal("hits not sorted")
+			}
+		}
+	}
+}
+
+func TestEmbedderNamesAndDims(t *testing.T) {
+	g := graph(t)
+	var embs []Embedder
+	embs = append(embs, TrainWord2Vec(g, DefaultWord2VecConfig()))
+	embs = append(embs, TrainRawFastText(g, 64, 2, 1))
+	embs = append(embs, TrainBERTProxy(g, 64, 2))
+	names := map[string]bool{}
+	for _, e := range embs {
+		names[e.Name()] = true
+		if e.Dim() != 64 {
+			t.Fatalf("%s dim = %d", e.Name(), e.Dim())
+		}
+		if len(e.Embed("test string")) != 64 {
+			t.Fatalf("%s embed dim mismatch", e.Name())
+		}
+	}
+	if len(names) != 3 {
+		t.Fatalf("names not distinct: %v", names)
+	}
+}

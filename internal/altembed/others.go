@@ -1,0 +1,313 @@
+package altembed
+
+import (
+	"math"
+
+	"emblookup/internal/charenc"
+	"emblookup/internal/kg"
+	"emblookup/internal/lookup"
+	"emblookup/internal/mathx"
+	"emblookup/internal/ngram"
+	"emblookup/internal/nn"
+	"emblookup/internal/strutil"
+	"emblookup/internal/triplet"
+)
+
+func expFloat(x float64) float64 { return math.Exp(x) }
+
+// RawFastText wraps the subword model trained on synonym pairs, used alone
+// (no CNN, no combiner) — the paper's "FastText" row.
+type RawFastText struct {
+	Model *ngram.Model
+}
+
+// TrainRawFastText trains the subword model on g's synonym pairs. The
+// known-mention memorization slot is disabled: pre-trained fastText has no
+// per-mention memory, only subword composition.
+func TrainRawFastText(g *kg.Graph, dim int, epochs int, seed uint64) *RawFastText {
+	m := ngram.NewModel(dim, 1<<15, seed)
+	m.MentionHalf = false
+	var pairs []ngram.Pair
+	for _, p := range triplet.SynonymPairs(g) {
+		pairs = append(pairs, ngram.Pair{Label: p[0], Synonym: p[1]})
+	}
+	cfg := ngram.DefaultTrainConfig()
+	cfg.Epochs = epochs
+	cfg.Seed = seed
+	m.Train(pairs, triplet.Labels(g), cfg)
+	return &RawFastText{Model: m}
+}
+
+// Name implements Embedder.
+func (r *RawFastText) Name() string { return "fasttext" }
+
+// Dim implements Embedder.
+func (r *RawFastText) Dim() int { return r.Model.Dim }
+
+// Embed implements Embedder.
+func (r *RawFastText) Embed(s string) []float32 { return r.Model.Embed(s) }
+
+// BERTProxy stands in for a pre-trained BERT encoder: hashed wordpiece
+// vectors (whole words plus coarse 4/5-gram pieces) pooled by softmax
+// attention with a fixed query vector. The piece table is adapted only
+// briefly to the knowledge graph (two synonym epochs), reproducing the
+// "pre-trained but not task-trained" middle ground of Table VII: better
+// than word2vec under typos (wordpieces survive), worse than the
+// task-trained models.
+type BERTProxy struct {
+	dim    int
+	pieces *ngram.Model
+	query  []float32
+}
+
+// TrainBERTProxy builds the proxy over g.
+func TrainBERTProxy(g *kg.Graph, dim int, seed uint64) *BERTProxy {
+	m := ngram.NewModel(dim, 1<<15, seed)
+	m.MinN, m.MaxN = 4, 5 // coarse wordpieces, not fine character n-grams
+	m.MentionHalf = false // pre-trained encoders carry no per-mention memory
+	var pairs []ngram.Pair
+	for _, p := range triplet.SynonymPairs(g) {
+		pairs = append(pairs, ngram.Pair{Label: p[0], Synonym: p[1]})
+	}
+	cfg := ngram.DefaultTrainConfig()
+	cfg.Epochs = 2 // weak adaptation only
+	cfg.Seed = seed
+	m.Train(pairs, triplet.Labels(g), cfg)
+
+	rng := mathx.NewRNG(seed + 1)
+	q := make([]float32, dim)
+	for i := range q {
+		q[i] = float32(rng.NormFloat64() * 0.5)
+	}
+	return &BERTProxy{dim: dim, pieces: m, query: q}
+}
+
+// Name implements Embedder.
+func (b *BERTProxy) Name() string { return "bert" }
+
+// Dim implements Embedder.
+func (b *BERTProxy) Dim() int { return b.dim }
+
+// Embed pools per-token piece vectors with attention weights.
+func (b *BERTProxy) Embed(s string) []float32 {
+	toks := strutil.Tokenize(s)
+	out := make([]float32, b.dim)
+	if len(toks) == 0 {
+		return out
+	}
+	vecs := make([][]float32, len(toks))
+	weights := make([]float32, len(toks))
+	var maxW float32 = -1e30
+	for i, t := range toks {
+		vecs[i] = b.pieces.Embed(t)
+		weights[i] = mathx.Dot(b.query, vecs[i])
+		if weights[i] > maxW {
+			maxW = weights[i]
+		}
+	}
+	var sum float32
+	for i := range weights {
+		weights[i] = float32(math.Exp(float64(weights[i] - maxW)))
+		sum += weights[i]
+	}
+	for i := range vecs {
+		mathx.Axpy(weights[i]/sum, vecs[i], out)
+	}
+	return out
+}
+
+// LSTMEmbedder trains an LSTM over character sequences with the same
+// triplet objective as EmbLookup's CNN — the strongest baseline in Table
+// VII.
+type LSTMEmbedder struct {
+	enc  *charenc.Encoder
+	lstm *nn.LSTM
+	proj *nn.Linear
+	dim  int
+}
+
+// LSTMConfig controls LSTM baseline training.
+type LSTMConfig struct {
+	Dim               int
+	Hidden            int
+	MaxLen            int
+	Epochs            int
+	TripletsPerEntity int
+	Margin            float32
+	LR                float32
+	Seed              uint64
+}
+
+// DefaultLSTMConfig sizes the baseline like EmbLookup's default.
+func DefaultLSTMConfig() LSTMConfig {
+	return LSTMConfig{Dim: 64, Hidden: 64, MaxLen: 32, Epochs: 3, TripletsPerEntity: 10, Margin: 1, LR: 3e-3, Seed: 91}
+}
+
+// TrainLSTM fits the LSTM baseline on triplets mined from g.
+func TrainLSTM(g *kg.Graph, cfg LSTMConfig) *LSTMEmbedder {
+	if cfg.Dim <= 0 {
+		cfg = DefaultLSTMConfig()
+	}
+	rng := mathx.NewRNG(cfg.Seed)
+	var mentions []string
+	for i := range g.Entities {
+		mentions = append(mentions, g.Entities[i].Mentions()...)
+	}
+	alphabet := charenc.AlphabetFromMentions(mentions)
+	e := &LSTMEmbedder{
+		enc:  charenc.NewEncoder(alphabet, cfg.MaxLen),
+		lstm: nn.NewLSTM(rng, alphabet.Size(), cfg.Hidden),
+		dim:  cfg.Dim,
+	}
+	e.proj = nn.NewLinear(rng, cfg.Hidden, cfg.Dim)
+
+	mCfg := triplet.DefaultMinerConfig()
+	mCfg.PerEntity = cfg.TripletsPerEntity
+	mCfg.Seed = rng.Uint64()
+	ts := triplet.Mine(g, mCfg)
+
+	params := append(e.lstm.Params(), e.proj.Params()...)
+	opt := nn.NewAdam(cfg.LR, params)
+	order := make([]int, len(ts))
+	for i := range order {
+		order[i] = i
+	}
+	const batch = 64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.ShuffleInts(order)
+		for start := 0; start < len(order); start += batch {
+			end := start + batch
+			if end > len(order) {
+				end = len(order)
+			}
+			for _, ti := range order[start:end] {
+				t := ts[ti]
+				ya, ca := e.forward(t.Anchor)
+				yp, cp := e.forward(t.Positive)
+				yn, cn := e.forward(t.Negative)
+				loss, da, dp, dn := nn.TripletLoss(ya, yp, yn, cfg.Margin)
+				if loss > 0 {
+					e.backward(ca, da)
+					e.backward(cp, dp)
+					e.backward(cn, dn)
+				}
+			}
+			opt.Step(1 / float32(end-start))
+		}
+	}
+	return e
+}
+
+type lstmFwd struct {
+	cache *nn.LSTMCache
+	h     []float32
+}
+
+func (e *LSTMEmbedder) seqLen(s string) int {
+	n := 0
+	for range s {
+		n++
+		if n >= e.enc.MaxLen {
+			break
+		}
+	}
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+func (e *LSTMEmbedder) forward(s string) ([]float32, lstmFwd) {
+	x := e.enc.Encode(s)
+	h, cache := e.lstm.Forward(x, e.seqLen(s))
+	y := e.proj.Apply(h)
+	return y, lstmFwd{cache: cache, h: h}
+}
+
+func (e *LSTMEmbedder) backward(c lstmFwd, dy []float32) {
+	dh := e.proj.Backward(c.h, dy)
+	e.lstm.Backward(c.cache, dh)
+}
+
+// Name implements Embedder.
+func (e *LSTMEmbedder) Name() string { return "lstm" }
+
+// Dim implements Embedder.
+func (e *LSTMEmbedder) Dim() int { return e.dim }
+
+// Embed implements Embedder (inference path, concurrent-safe).
+func (e *LSTMEmbedder) Embed(s string) []float32 {
+	x := e.enc.Encode(s)
+	h := e.lstm.Apply(x, e.seqLen(s))
+	return e.proj.Apply(h)
+}
+
+// Service wraps any Embedder into a lookup service over g's entity-label
+// embeddings using an exact index — the apparatus of the Table VII
+// comparison.
+type Service struct {
+	name  string
+	embed Embedder
+	flat  flatIndex
+	rows  []kg.EntityID
+}
+
+// flatIndex is a minimal exact scan (kept local to avoid an index-package
+// dependency cycle through examples).
+type flatIndex struct {
+	data *mathx.Matrix
+}
+
+// NewService embeds every entity label with em and indexes the result.
+func NewService(g *kg.Graph, em Embedder) *Service {
+	s := &Service{name: em.Name(), embed: em}
+	s.flat.data = mathx.NewMatrix(len(g.Entities), em.Dim())
+	for i := range g.Entities {
+		copy(s.flat.data.Row(i), em.Embed(g.Entities[i].Label))
+		s.rows = append(s.rows, g.Entities[i].ID)
+	}
+	return s
+}
+
+// Name implements lookup.Service.
+func (s *Service) Name() string { return s.name }
+
+// Lookup returns the k nearest entities to the query embedding.
+func (s *Service) Lookup(q string, k int) []lookup.Candidate {
+	if k <= 0 {
+		return nil
+	}
+	qv := s.embed.Embed(q)
+	res := s.flat.search(qv, k)
+	out := make([]lookup.Candidate, len(res))
+	for i, r := range res {
+		out[i] = lookup.Candidate{ID: s.rows[r.row], Score: -float64(r.dist)}
+	}
+	return out
+}
+
+type flatHit struct {
+	row  int
+	dist float32
+}
+
+// search is a simple exact top-k scan with insertion into a sorted slice.
+func (f *flatIndex) search(q []float32, k int) []flatHit {
+	best := make([]flatHit, 0, k)
+	for i := 0; i < f.data.Rows; i++ {
+		d := mathx.SquaredL2(q, f.data.Row(i))
+		if len(best) == k && d >= best[k-1].dist {
+			continue
+		}
+		pos := len(best)
+		for pos > 0 && best[pos-1].dist > d {
+			pos--
+		}
+		if len(best) < k {
+			best = append(best, flatHit{})
+		}
+		copy(best[pos+1:], best[pos:])
+		best[pos] = flatHit{row: i, dist: d}
+	}
+	return best
+}

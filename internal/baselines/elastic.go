@@ -1,0 +1,221 @@
+package baselines
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"emblookup/internal/lookup"
+	"emblookup/internal/strutil"
+)
+
+// Elastic reproduces the ElasticSearch fuzzy-lookup configuration the paper
+// describes: a BM25-scored inverted index where each mention is indexed
+// both by its word tokens and by its character trigrams, and the final
+// relevance is a weighted combination of the two scores. Word matches
+// dominate on clean queries; the trigram channel provides the fuzziness
+// that keeps misspelled queries from missing entirely.
+type Elastic struct {
+	corpus *lookup.Corpus
+
+	words    *bm25Index
+	trigrams *bm25Index
+
+	// WordWeight and TrigramWeight blend the two BM25 channels.
+	WordWeight, TrigramWeight float64
+}
+
+// NewElastic indexes the corpus.
+func NewElastic(c *lookup.Corpus) *Elastic {
+	e := &Elastic{corpus: c, WordWeight: 1.0, TrigramWeight: 0.7}
+	e.words = newBM25Index(len(c.Mentions))
+	e.trigrams = newBM25Index(len(c.Mentions))
+	for i, m := range c.Mentions {
+		e.words.add(int32(i), strutil.Tokenize(m.Text))
+		e.trigrams.add(int32(i), strutil.QGramList(m.Text, 3))
+	}
+	e.words.finish()
+	e.trigrams.finish()
+	return e
+}
+
+// Name implements lookup.Service.
+func (e *Elastic) Name() string { return "elastic-search" }
+
+// Lookup scores the union of matching documents from both channels.
+func (e *Elastic) Lookup(q string, k int) []lookup.Candidate {
+	scores := make(map[int32]float64)
+	e.words.score(strutil.Tokenize(q), e.WordWeight, scores)
+	e.trigrams.score(strutil.QGramList(q, 3), e.TrigramWeight, scores)
+	scored := make([]scoredMention, 0, len(scores))
+	for mi, s := range scores {
+		scored = append(scored, scoredMention{entity: e.corpus.Mentions[mi].Entity, score: s})
+	}
+	return rankMentions(scored, k)
+}
+
+// SizeBytes approximates the index storage.
+func (e *Elastic) SizeBytes() int { return e.words.sizeBytes() + e.trigrams.sizeBytes() }
+
+// ElasticOp hosts one of the paper's three syntactic operations — exact
+// match, q-gram similarity, or Levenshtein distance — inside the
+// ElasticSearch engine, mirroring the paper's setup ("we compare EMBLOOKUP
+// against optimized implementations of these operations in Elastic
+// Search"): candidates are gathered through the BM25 word+trigram channels
+// and then verified/re-scored by the operation.
+type ElasticOp struct {
+	inner *Elastic
+	op    string
+}
+
+// NewElasticExact hosts exact matching in ES.
+func NewElasticExact(c *lookup.Corpus) *ElasticOp {
+	return &ElasticOp{inner: NewElastic(c), op: "exact"}
+}
+
+// NewElasticQGram hosts q-gram similarity in ES.
+func NewElasticQGram(c *lookup.Corpus) *ElasticOp {
+	return &ElasticOp{inner: NewElastic(c), op: "qgram"}
+}
+
+// NewElasticLevenshtein hosts Levenshtein re-scoring in ES.
+func NewElasticLevenshtein(c *lookup.Corpus) *ElasticOp {
+	return &ElasticOp{inner: NewElastic(c), op: "levenshtein"}
+}
+
+// Name implements lookup.Service.
+func (e *ElasticOp) Name() string {
+	switch e.op {
+	case "exact":
+		return "exact-match"
+	case "qgram":
+		return "q-gram"
+	default:
+		return "levenshtein"
+	}
+}
+
+// Lookup gathers an over-fetched BM25 candidate pool, then verifies with
+// the hosted operation.
+func (e *ElasticOp) Lookup(q string, k int) []lookup.Candidate {
+	pool := e.inner.candidatePool(q, 4*k+16)
+	var scored []scoredMention
+	for _, mi := range pool {
+		m := e.inner.corpus.Mentions[mi]
+		switch e.op {
+		case "exact":
+			if strings.EqualFold(strings.TrimSpace(q), m.Text) {
+				scored = append(scored, scoredMention{entity: m.Entity, score: 1})
+			}
+		case "qgram":
+			if s := strutil.QGramSimilarity(q, m.Text, 3); s > 0.2 {
+				scored = append(scored, scoredMention{entity: m.Entity, score: s})
+			}
+		default:
+			const maxDist = 4
+			if d := strutil.LevenshteinBounded(strings.ToLower(q), strings.ToLower(m.Text), maxDist); d <= maxDist {
+				scored = append(scored, scoredMention{entity: m.Entity, score: 1 / (1 + float64(d))})
+			}
+		}
+	}
+	return rankMentions(scored, k)
+}
+
+// candidatePool returns the top mention indexes by blended BM25 score.
+func (e *Elastic) candidatePool(q string, n int) []int32 {
+	scores := make(map[int32]float64)
+	e.words.score(strutil.Tokenize(q), e.WordWeight, scores)
+	e.trigrams.score(strutil.QGramList(q, 3), e.TrigramWeight, scores)
+	type hit struct {
+		mi int32
+		s  float64
+	}
+	hits := make([]hit, 0, len(scores))
+	for mi, s := range scores {
+		hits = append(hits, hit{mi, s})
+	}
+	sort.Slice(hits, func(a, b int) bool {
+		if hits[a].s != hits[b].s {
+			return hits[a].s > hits[b].s
+		}
+		return hits[a].mi < hits[b].mi
+	})
+	if len(hits) > n {
+		hits = hits[:n]
+	}
+	out := make([]int32, len(hits))
+	for i, h := range hits {
+		out[i] = h.mi
+	}
+	return out
+}
+
+// bm25Index is a minimal BM25 inverted index (k1=1.2, b=0.75).
+type bm25Index struct {
+	postings map[string][]posting
+	docLen   []int
+	avgLen   float64
+	nDocs    int
+}
+
+type posting struct {
+	doc int32
+	tf  int32
+}
+
+func newBM25Index(nDocs int) *bm25Index {
+	return &bm25Index{postings: make(map[string][]posting), docLen: make([]int, nDocs), nDocs: nDocs}
+}
+
+func (ix *bm25Index) add(doc int32, terms []string) {
+	ix.docLen[doc] = len(terms)
+	counts := make(map[string]int32, len(terms))
+	for _, t := range terms {
+		counts[t]++
+	}
+	for t, c := range counts {
+		ix.postings[t] = append(ix.postings[t], posting{doc: doc, tf: c})
+	}
+}
+
+func (ix *bm25Index) finish() {
+	total := 0
+	for _, l := range ix.docLen {
+		total += l
+	}
+	if ix.nDocs > 0 {
+		ix.avgLen = float64(total) / float64(ix.nDocs)
+	}
+	if ix.avgLen == 0 {
+		ix.avgLen = 1
+	}
+}
+
+const (
+	bm25K1 = 1.2
+	bm25B  = 0.75
+)
+
+// score accumulates weight·BM25(term, doc) into out for every query term.
+func (ix *bm25Index) score(terms []string, weight float64, out map[int32]float64) {
+	for _, t := range terms {
+		plist := ix.postings[t]
+		if len(plist) == 0 {
+			continue
+		}
+		idf := math.Log(1 + (float64(ix.nDocs)-float64(len(plist))+0.5)/(float64(len(plist))+0.5))
+		for _, p := range plist {
+			tf := float64(p.tf)
+			norm := tf * (bm25K1 + 1) / (tf + bm25K1*(1-bm25B+bm25B*float64(ix.docLen[p.doc])/ix.avgLen))
+			out[p.doc] += weight * idf * norm
+		}
+	}
+}
+
+func (ix *bm25Index) sizeBytes() int {
+	n := 0
+	for t, plist := range ix.postings {
+		n += len(t) + 8*len(plist)
+	}
+	return n
+}

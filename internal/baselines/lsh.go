@@ -1,0 +1,106 @@
+package baselines
+
+import (
+	"emblookup/internal/lookup"
+	"emblookup/internal/strutil"
+)
+
+// LSH is a MinHash locality-sensitive-hashing lookup over q-gram sets,
+// following the Levenshtein-optimized LSH variant cited in the paper. Each
+// mention's q-gram set is summarized by numHashes MinHash values; the
+// signature is cut into bands, and mentions sharing any band bucket with
+// the query become candidates, verified by edit distance. LSH trades recall
+// for speed: heavily misspelled queries can miss every bucket, which is
+// exactly the failure mode the paper's Table V shows (F-score 0.72 → 0.47
+// under noise).
+type LSH struct {
+	corpus *lookup.Corpus
+	q      int
+
+	numHashes int
+	bands     int
+	rows      int
+	seeds     []uint64
+
+	buckets []map[uint64][]int32 // per band: bucket hash -> mention indexes
+}
+
+// NewLSH indexes the corpus with 32 MinHashes in 8 bands of 4 rows.
+func NewLSH(c *lookup.Corpus) *LSH {
+	l := &LSH{corpus: c, q: 3, numHashes: 32, bands: 8, rows: 4}
+	l.seeds = make([]uint64, l.numHashes)
+	s := uint64(0x51ab_c0ffee)
+	for i := range l.seeds {
+		s = s*6364136223846793005 + 1442695040888963407
+		l.seeds[i] = s
+	}
+	l.buckets = make([]map[uint64][]int32, l.bands)
+	for b := range l.buckets {
+		l.buckets[b] = make(map[uint64][]int32)
+	}
+	for i, m := range c.Mentions {
+		sig := l.signature(m.Text)
+		for b := 0; b < l.bands; b++ {
+			l.buckets[b][l.bandKey(sig, b)] = append(l.buckets[b][l.bandKey(sig, b)], int32(i))
+		}
+	}
+	return l
+}
+
+// Name implements lookup.Service.
+func (l *LSH) Name() string { return "lsh" }
+
+func hash64(s string, seed uint64) uint64 {
+	h := seed ^ 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// signature computes the MinHash signature of the q-gram set of s.
+func (l *LSH) signature(s string) []uint64 {
+	sig := make([]uint64, l.numHashes)
+	for i := range sig {
+		sig[i] = ^uint64(0)
+	}
+	for gram := range strutil.QGrams(s, l.q) {
+		for i, seed := range l.seeds {
+			if h := hash64(gram, seed); h < sig[i] {
+				sig[i] = h
+			}
+		}
+	}
+	return sig
+}
+
+// bandKey combines the rows of one band into a bucket key.
+func (l *LSH) bandKey(sig []uint64, band int) uint64 {
+	h := uint64(band) * 0x9e3779b97f4a7c15
+	for r := 0; r < l.rows; r++ {
+		h ^= sig[band*l.rows+r]
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Lookup gathers candidates from matching band buckets and verifies them by
+// bounded edit distance.
+func (l *LSH) Lookup(q string, k int) []lookup.Candidate {
+	sig := l.signature(q)
+	seen := make(map[int32]bool)
+	var scored []scoredMention
+	for b := 0; b < l.bands; b++ {
+		for _, mi := range l.buckets[b][l.bandKey(sig, b)] {
+			if seen[mi] {
+				continue
+			}
+			seen[mi] = true
+			m := l.corpus.Mentions[mi]
+			d := strutil.LevenshteinBounded(q, m.Text, 6)
+			scored = append(scored, scoredMention{entity: m.Entity, score: 1 / (1 + float64(d))})
+		}
+	}
+	return rankMentions(scored, k)
+}

@@ -1,0 +1,64 @@
+package baselines
+
+import (
+	"emblookup/internal/lookup"
+	"emblookup/internal/strutil"
+)
+
+// QGram is an inverted-index lookup over character q-grams: candidate
+// mentions are gathered by posting-list intersection counts and ranked by
+// Dice similarity over the q-gram multisets. This is the classic
+// filter-and-verify design for approximate string matching.
+type QGram struct {
+	corpus   *lookup.Corpus
+	q        int
+	postings map[string][]int32 // gram -> mention indexes
+	// MinOverlap filters candidates sharing fewer grams with the query.
+	MinOverlap int
+}
+
+// NewQGram indexes the corpus with trigrams.
+func NewQGram(c *lookup.Corpus) *QGram {
+	g := &QGram{corpus: c, q: 3, postings: make(map[string][]int32), MinOverlap: 2}
+	for i, m := range c.Mentions {
+		for gram := range strutil.QGrams(m.Text, g.q) {
+			g.postings[gram] = append(g.postings[gram], int32(i))
+		}
+	}
+	return g
+}
+
+// Name implements lookup.Service.
+func (g *QGram) Name() string { return "q-gram" }
+
+// Lookup gathers candidates from the query's gram posting lists, then
+// verifies with the Dice q-gram similarity.
+func (g *QGram) Lookup(q string, k int) []lookup.Candidate {
+	counts := make(map[int32]int)
+	for gram := range strutil.QGrams(q, g.q) {
+		for _, mi := range g.postings[gram] {
+			counts[mi]++
+		}
+	}
+	var scored []scoredMention
+	for mi, c := range counts {
+		if c < g.MinOverlap {
+			continue
+		}
+		m := g.corpus.Mentions[mi]
+		scored = append(scored, scoredMention{
+			entity: m.Entity,
+			score:  strutil.QGramSimilarity(q, m.Text, g.q),
+		})
+	}
+	return rankMentions(scored, k)
+}
+
+// SizeBytes approximates the posting-list storage of the index.
+func (g *QGram) SizeBytes() int {
+	n := 0
+	for gram, list := range g.postings {
+		n += len(gram) + 4*len(list)
+	}
+	return n
+}

@@ -1,0 +1,458 @@
+package core
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"emblookup/internal/kg"
+	"emblookup/internal/mathx"
+	"emblookup/internal/tabular"
+	"emblookup/internal/triplet"
+)
+
+// The shared fixture trains one small model; individual tests reuse it to
+// keep the suite fast. Tests that need different configs train their own
+// smaller models.
+var (
+	fixtureOnce  sync.Once
+	fixtureGraph *kg.Graph
+	fixtureModel *EmbLookup
+)
+
+func testConfig() Config {
+	cfg := FastConfig()
+	cfg.Epochs = 4
+	cfg.TripletsPerEntity = 12
+	cfg.NgramEpochs = 6
+	return cfg
+}
+
+func fixture(t *testing.T) (*kg.Graph, *EmbLookup) {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		g, _ := kg.Generate(kg.DefaultGeneratorConfig(kg.WikidataProfile, 400))
+		e, err := Train(g, testConfig())
+		if err != nil {
+			panic(err)
+		}
+		fixtureGraph, fixtureModel = g, e
+	})
+	return fixtureGraph, fixtureModel
+}
+
+func recallAt10(e *EmbLookup, queries []string, truths []kg.EntityID) float64 {
+	hits := 0
+	for i, q := range queries {
+		for _, c := range e.Lookup(q, 10) {
+			if c.ID == truths[i] {
+				hits++
+				break
+			}
+		}
+	}
+	return float64(hits) / float64(len(queries))
+}
+
+func TestTrainCleanLookup(t *testing.T) {
+	g, e := fixture(t)
+	var queries []string
+	var truths []kg.EntityID
+	for i := 0; i < 100; i++ {
+		queries = append(queries, g.Entities[i].Label)
+		truths = append(truths, g.Entities[i].ID)
+	}
+	if r := recallAt10(e, queries, truths); r < 0.9 {
+		t.Fatalf("clean recall@10 = %.2f, want >= 0.9", r)
+	}
+}
+
+func TestTrainNoisyLookup(t *testing.T) {
+	g, e := fixture(t)
+	rng := mathx.NewRNG(5)
+	var queries []string
+	var truths []kg.EntityID
+	for i := 0; i < 100; i++ {
+		ent := &g.Entities[rng.Intn(len(g.Entities))]
+		queries = append(queries, tabular.ApplyNoise(ent.Label, tabular.TransposeLetters, rng))
+		truths = append(truths, ent.ID)
+	}
+	if r := recallAt10(e, queries, truths); r < 0.5 {
+		t.Fatalf("noisy recall@10 = %.2f, want >= 0.5", r)
+	}
+}
+
+func TestSemanticLookupBeatsChance(t *testing.T) {
+	g, e := fixture(t)
+	rng := mathx.NewRNG(7)
+	var queries []string
+	var truths []kg.EntityID
+	for i := 0; i < 100; i++ {
+		ent := &g.Entities[rng.Intn(len(g.Entities))]
+		if len(ent.Aliases) == 0 {
+			continue
+		}
+		queries = append(queries, ent.Aliases[rng.Intn(len(ent.Aliases))])
+		truths = append(truths, ent.ID)
+	}
+	if r := recallAt10(e, queries, truths); r < 0.35 {
+		t.Fatalf("alias recall@10 = %.2f, want >= 0.35", r)
+	}
+}
+
+func TestLookupKHandling(t *testing.T) {
+	g, e := fixture(t)
+	if res := e.Lookup(g.Entities[0].Label, 0); res != nil {
+		t.Fatal("k=0 should return nil")
+	}
+	res := e.Lookup(g.Entities[0].Label, 3)
+	if len(res) > 3 {
+		t.Fatalf("got %d results for k=3", len(res))
+	}
+	// Scores must be non-increasing.
+	for i := 1; i < len(res); i++ {
+		if res[i].Score > res[i-1].Score {
+			t.Fatal("results not sorted by score")
+		}
+	}
+}
+
+func TestEmbedDeterministicAndConcurrent(t *testing.T) {
+	g, e := fixture(t)
+	q := g.Entities[3].Label
+	want := e.Embed(q)
+	done := make(chan []float32, 8)
+	for i := 0; i < 8; i++ {
+		go func() { done <- e.Embed(q) }()
+	}
+	for i := 0; i < 8; i++ {
+		got := <-done
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatal("concurrent Embed results differ")
+			}
+		}
+	}
+}
+
+func TestBulkLookupMatchesSequential(t *testing.T) {
+	g, e := fixture(t)
+	var queries []string
+	for i := 0; i < 40; i++ {
+		queries = append(queries, g.Entities[i].Label)
+	}
+	seq := e.BulkLookup(queries, 5, 1)
+	par := e.BulkLookup(queries, 5, 8)
+	for i := range queries {
+		if len(seq[i]) != len(par[i]) {
+			t.Fatal("length mismatch")
+		}
+		for j := range seq[i] {
+			if seq[i][j] != par[i][j] {
+				t.Fatal("parallel bulk lookup diverges from sequential")
+			}
+		}
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	g, _ := kg.Generate(kg.DefaultGeneratorConfig(kg.WikidataProfile, 120))
+	cfg := testConfig()
+	cfg.Epochs = 2
+	cfg.Workers = 1 // replica merge order varies with >1 worker
+	e1, err := Train(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Train(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := e1.Embed("Bramonia")
+	b := e2.Embed("Bramonia")
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("single-worker training not deterministic")
+		}
+	}
+}
+
+func TestCompressionToggle(t *testing.T) {
+	g, e := fixture(t)
+	// EL (compressed) payload must be Dim*4/M smaller than EL-NC.
+	elBytes := e.Index().SizeBytes()
+	if err := e.RebuildIndex(false); err != nil {
+		t.Fatal(err)
+	}
+	ncBytes := e.Index().SizeBytes()
+	if ncBytes <= elBytes*4 {
+		t.Fatalf("EL-NC (%d B) should be much larger than EL (%d B)", ncBytes, elBytes)
+	}
+	// Restore compressed state for other tests.
+	if err := e.RebuildIndex(true); err != nil {
+		t.Fatal(err)
+	}
+	_ = g
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	g, e := fixture(t)
+	var buf bytes.Buffer
+	if err := e.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Read(&buf, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{"Bramonia", g.Entities[0].Label, "xyz 123"} {
+		a, b := e.Embed(q), e2.Embed(q)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("loaded model embeds %q differently", q)
+			}
+		}
+	}
+	// The rebuilt index must answer identically.
+	q := g.Entities[1].Label
+	r1 := e.Lookup(q, 5)
+	r2 := e2.Lookup(q, 5)
+	if len(r1) != len(r2) {
+		t.Fatal("loaded index answers differently")
+	}
+	for i := range r1 {
+		if r1[i].ID != r2[i].ID {
+			t.Fatal("loaded index ranks differently")
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	g, e := fixture(t)
+	path := t.TempDir() + "/model.bin"
+	if err := e.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleModelAblationTrains(t *testing.T) {
+	g, _ := kg.Generate(kg.DefaultGeneratorConfig(kg.WikidataProfile, 120))
+	cfg := testConfig()
+	cfg.Epochs = 2
+	cfg.SingleModel = true
+	e, err := Train(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Embed("anything") == nil {
+		t.Fatal("single-model embed failed")
+	}
+	res := e.Lookup(g.Entities[0].Label, 5)
+	if len(res) == 0 {
+		t.Fatal("single-model lookup empty")
+	}
+}
+
+func TestIndexAliasesImprovesAliasRecall(t *testing.T) {
+	g, _ := kg.Generate(kg.DefaultGeneratorConfig(kg.WikidataProfile, 150))
+	cfg := testConfig()
+	cfg.Epochs = 2
+	base, err := Train(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.IndexAliases = true
+	withAliases, err := Train(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := mathx.NewRNG(11)
+	var queries []string
+	var truths []kg.EntityID
+	for i := 0; i < 80; i++ {
+		ent := &g.Entities[rng.Intn(len(g.Entities))]
+		if len(ent.Aliases) == 0 {
+			continue
+		}
+		queries = append(queries, ent.Aliases[rng.Intn(len(ent.Aliases))])
+		truths = append(truths, ent.ID)
+	}
+	rBase := recallAt10(base, queries, truths)
+	rAlias := recallAt10(withAliases, queries, truths)
+	if rAlias < rBase {
+		t.Fatalf("alias rows should not hurt alias recall: %.2f vs %.2f", rAlias, rBase)
+	}
+	if withAliases.Index().Len() <= base.Index().Len() {
+		t.Fatal("alias index should have more rows")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Dim = 60 // not divisible by PQ.M=8
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("expected divisibility error")
+	}
+	cfg = DefaultConfig()
+	cfg.Kernel = 4
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("expected odd-kernel error")
+	}
+	cfg = DefaultConfig()
+	cfg.BatchSize = 0
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("expected batch error")
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestNames(t *testing.T) {
+	_, e := fixture(t)
+	if e.Name() != "emblookup" {
+		t.Fatalf("Name = %q", e.Name())
+	}
+	nc := *e
+	nc.cfg.Compress = false
+	if nc.Name() != "emblookup-nc" {
+		t.Fatalf("NC name = %q", nc.Name())
+	}
+}
+
+func TestContrastiveLossTrains(t *testing.T) {
+	g, _ := kg.Generate(kg.DefaultGeneratorConfig(kg.WikidataProfile, 150))
+	cfg := testConfig()
+	cfg.Epochs = 2
+	cfg.Loss = "contrastive"
+	e, err := Train(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var queries []string
+	var truths []kg.EntityID
+	for i := 0; i < 60; i++ {
+		queries = append(queries, g.Entities[i].Label)
+		truths = append(truths, g.Entities[i].ID)
+	}
+	if r := recallAt10(e, queries, truths); r < 0.8 {
+		t.Fatalf("contrastive clean recall = %.2f", r)
+	}
+}
+
+func TestTopLossScheduleTrains(t *testing.T) {
+	g, _ := kg.Generate(kg.DefaultGeneratorConfig(kg.WikidataProfile, 150))
+	cfg := testConfig()
+	cfg.Epochs = 4
+	cfg.TopLossFraction = 0.25
+	e, err := Train(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var queries []string
+	var truths []kg.EntityID
+	for i := 0; i < 60; i++ {
+		queries = append(queries, g.Entities[i].Label)
+		truths = append(truths, g.Entities[i].ID)
+	}
+	if r := recallAt10(e, queries, truths); r < 0.8 {
+		t.Fatalf("top-loss clean recall = %.2f", r)
+	}
+}
+
+func TestValidateNewOptions(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Loss = "hinge"
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("unknown loss should fail validation")
+	}
+	cfg = DefaultConfig()
+	cfg.TopLossFraction = 1.5
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("out-of-range TopLossFraction should fail validation")
+	}
+	cfg = DefaultConfig()
+	cfg.Loss = "contrastive"
+	cfg.TopLossFraction = 0.5
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("valid options rejected: %v", err)
+	}
+}
+
+func TestWithAliasRows(t *testing.T) {
+	g, e := fixture(t)
+	withA, err := e.WithAliasRows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withA.Index().Len() <= e.Index().Len() {
+		t.Fatal("alias rows should enlarge the index")
+	}
+	// The original service must be untouched.
+	if e.Config().IndexAliases {
+		t.Fatal("WithAliasRows mutated the receiver")
+	}
+	_ = g
+}
+
+func TestIVFIndexVariants(t *testing.T) {
+	g, _ := kg.Generate(kg.DefaultGeneratorConfig(kg.WikidataProfile, 200))
+	cfg := testConfig()
+	cfg.Epochs = 2
+	cfg.IVF = true
+	cfg.IVFNProbe = 64 // effectively exhaustive at this size
+	for _, compress := range []bool{false, true} {
+		cfg.Compress = compress
+		e, err := Train(g, cfg)
+		if err != nil {
+			t.Fatalf("compress=%v: %v", compress, err)
+		}
+		hits := 0
+		for i := 0; i < 50; i++ {
+			for _, c := range e.Lookup(g.Entities[i].Label, 10) {
+				if c.ID == g.Entities[i].ID {
+					hits++
+					break
+				}
+			}
+		}
+		if hits < 45 {
+			t.Fatalf("IVF compress=%v clean recall %d/50", compress, hits)
+		}
+	}
+}
+
+func TestMinerRelatedHook(t *testing.T) {
+	g, _ := kg.Generate(kg.DefaultGeneratorConfig(kg.WikidataProfile, 100))
+	related := func(id kg.EntityID) []kg.EntityID {
+		return g.Neighbors(id)
+	}
+	mCfg := triplet.DefaultMinerConfig()
+	mCfg.PerEntity = 20
+	mCfg.TypeShare = 0.3
+	mCfg.Related = related
+	ts := triplet.Mine(g, mCfg)
+	if len(ts) == 0 {
+		t.Fatal("no triplets")
+	}
+	// At least some positives should be neighbor labels.
+	neighborPositives := 0
+	for _, tr := range ts {
+		ids := g.ExactMatch(tr.Anchor)
+		if len(ids) == 0 {
+			continue
+		}
+		for _, nb := range g.Neighbors(ids[0]) {
+			if g.Label(nb) == tr.Positive {
+				neighborPositives++
+				break
+			}
+		}
+	}
+	if neighborPositives == 0 {
+		t.Fatal("Related hook produced no neighbor positives")
+	}
+}

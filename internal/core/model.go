@@ -1,0 +1,211 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"emblookup/internal/charenc"
+	"emblookup/internal/index"
+	"emblookup/internal/kg"
+	"emblookup/internal/lookup"
+	"emblookup/internal/mathx"
+	"emblookup/internal/ngram"
+	"emblookup/internal/nn"
+)
+
+// EmbLookup is a trained lookup service: the embedding model plus the
+// nearest-neighbor index over the knowledge graph's entity embeddings. It
+// implements lookup.Service; Lookup and Embed are safe for concurrent use.
+type EmbLookup struct {
+	cfg Config
+
+	enc *charenc.Encoder
+	cnn *nn.CharCNN
+	sem *ngram.Model
+	mlp *nn.MLP
+
+	graph *kg.Graph
+	ix    index.Index
+	rows  []kg.EntityID // index row -> entity
+}
+
+// Name implements lookup.Service.
+func (e *EmbLookup) Name() string {
+	if e.cfg.Compress {
+		return "emblookup"
+	}
+	return "emblookup-nc"
+}
+
+// Config returns the configuration the model was trained with.
+func (e *EmbLookup) Config() Config { return e.cfg }
+
+// Graph returns the knowledge graph the index covers.
+func (e *EmbLookup) Graph() *kg.Graph { return e.graph }
+
+// Index exposes the underlying nearest-neighbor index (for size reporting
+// and the compression experiments).
+func (e *EmbLookup) Index() index.Index { return e.ix }
+
+// Embed maps an arbitrary query string to its embedding, evaluating the
+// CNN path, the semantic path (subword mean plus the known-mention slot),
+// and the combiner (Figure 2 of the paper).
+func (e *EmbLookup) Embed(s string) []float32 {
+	return e.embed(s, true)
+}
+
+// IndexEmbed maps a string to the embedding stored in the index. Index
+// rows are computed without the mention slot — the anchor space — so that
+// noisy queries (which never have a mention slot) compare against the same
+// representation; training maps mention-carrying queries into this space.
+func (e *EmbLookup) IndexEmbed(s string) []float32 {
+	return e.embed(s, false)
+}
+
+func (e *EmbLookup) embed(s string, useMention bool) []float32 {
+	sub, mention := e.sem.EmbedParts(s)
+	if !e.cfg.MentionSlot {
+		mention = nil
+	} else if !useMention {
+		for i := range mention {
+			mention[i] = 0
+		}
+	}
+	var syn []float32
+	if e.cnn != nil {
+		syn = e.cnn.ApplyIdx(trimIdx(e.enc.EncodeIndexes(s)))
+	}
+	joint := make([]float32, 0, len(syn)+len(sub)+len(mention))
+	joint = append(joint, syn...)
+	joint = append(joint, sub...)
+	joint = append(joint, mention...)
+	return e.mlp.Apply(joint)
+}
+
+// Lookup embeds q and returns the k nearest entities. Scores are negated
+// squared distances so that higher is better, matching lookup.Candidate.
+func (e *EmbLookup) Lookup(q string, k int) []lookup.Candidate {
+	if k <= 0 {
+		return nil
+	}
+	// Over-fetch when alias rows can collapse onto one entity.
+	fetch := k
+	if e.cfg.IndexAliases {
+		fetch = k * 3
+	}
+	res := e.ix.Search(e.Embed(q), fetch)
+	cands := make([]lookup.Candidate, len(res))
+	for i, r := range res {
+		cands[i] = lookup.Candidate{ID: e.rows[r.ID], Score: -float64(r.Dist)}
+	}
+	return lookup.DedupeTopK(cands, k)
+}
+
+// BulkLookup embeds and searches a query batch with `parallelism`
+// goroutines (≤0 = all cores — the reproduction's GPU mode, see DESIGN.md).
+func (e *EmbLookup) BulkLookup(queries []string, k, parallelism int) [][]lookup.Candidate {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(queries) {
+		parallelism = len(queries)
+	}
+	out := make([][]lookup.Candidate, len(queries))
+	if parallelism <= 1 {
+		for i, q := range queries {
+			out[i] = e.Lookup(q, k)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int, len(queries))
+	for i := range queries {
+		idx <- i
+	}
+	close(idx)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = e.Lookup(queries[i], k)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// EmbedAll embeds a list of strings in parallel (query space), preserving
+// order.
+func (e *EmbLookup) EmbedAll(strs []string, parallelism int) [][]float32 {
+	return e.embedAll(strs, parallelism, true)
+}
+
+// IndexEmbedAll embeds a list of strings in parallel in the index (anchor)
+// space.
+func (e *EmbLookup) IndexEmbedAll(strs []string, parallelism int) [][]float32 {
+	return e.embedAll(strs, parallelism, false)
+}
+
+func (e *EmbLookup) embedAll(strs []string, parallelism int, useMention bool) [][]float32 {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	out := make([][]float32, len(strs))
+	if parallelism <= 1 || len(strs) < 2 {
+		for i, s := range strs {
+			out[i] = e.embed(s, useMention)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int, len(strs))
+	for i := range strs {
+		idx <- i
+	}
+	close(idx)
+	if parallelism > len(strs) {
+		parallelism = len(strs)
+	}
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = e.embed(strs[i], useMention)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// trimIdx cuts the zero-padding tail of an encoded index sequence so the
+// convolution runs over the mention's actual length (identically at
+// training and inference time). At least kernel-size positions remain so
+// every layer sees a non-degenerate input.
+func trimIdx(idx []int) []int {
+	n := len(idx)
+	for n > 0 && idx[n-1] < 0 {
+		n--
+	}
+	if n < 3 {
+		n = 3
+		if n > len(idx) {
+			n = len(idx)
+		}
+	}
+	return idx[:n]
+}
+
+// EmbeddingMatrix builds the N×Dim matrix of embeddings for the given
+// strings (used by the index builder and the compression experiments).
+func (e *EmbLookup) EmbeddingMatrix(strs []string, parallelism int) *mathx.Matrix {
+	vecs := e.EmbedAll(strs, parallelism)
+	m := mathx.NewMatrix(len(vecs), e.cfg.Dim)
+	for i, v := range vecs {
+		copy(m.Row(i), v)
+	}
+	return m
+}

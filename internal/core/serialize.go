@@ -1,0 +1,127 @@
+package core
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"emblookup/internal/charenc"
+	"emblookup/internal/kg"
+	"emblookup/internal/mathx"
+	"emblookup/internal/ngram"
+	"emblookup/internal/nn"
+)
+
+// modelWire is the serialized form of a trained EmbLookup model. The
+// nearest-neighbor index is rebuilt on load (deterministically, from the
+// stored weights), and the knowledge graph is attached by the caller.
+type modelWire struct {
+	Cfg           Config
+	Alphabet      string
+	Ngram         wireMatrix
+	NgramCfg      [2]int // dim, buckets
+	KnownMentions []int
+	Params        []wireMatrix
+}
+
+type wireMatrix struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+func toWire(m *mathx.Matrix) wireMatrix {
+	return wireMatrix{Rows: m.Rows, Cols: m.Cols, Data: m.Data}
+}
+
+func fromWire(w wireMatrix) *mathx.Matrix {
+	return &mathx.Matrix{Rows: w.Rows, Cols: w.Cols, Data: w.Data}
+}
+
+// Write serializes the trained model (weights only, not the graph or
+// index).
+func (e *EmbLookup) Write(w io.Writer) error {
+	wire := modelWire{
+		Cfg:           e.cfg,
+		Alphabet:      e.enc.Alphabet.Runes(),
+		Ngram:         toWire(e.sem.Table),
+		NgramCfg:      [2]int{e.sem.Dim, e.sem.Buckets},
+		KnownMentions: e.sem.KnownMentionHashes(),
+	}
+	for _, p := range e.masterParams() {
+		wire.Params = append(wire.Params, toWire(p.W))
+	}
+	return gob.NewEncoder(w).Encode(wire)
+}
+
+// Read deserializes a model written by Write and rebuilds its index over g.
+// g must be the graph the model was trained on (or a graph with identical
+// entity numbering).
+func Read(r io.Reader, g *kg.Graph) (*EmbLookup, error) {
+	var wire modelWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, err
+	}
+	cfg := wire.Cfg
+	rng := mathx.NewRNG(cfg.Seed)
+	e := &EmbLookup{cfg: cfg, graph: g}
+	e.enc = charenc.NewEncoder(charenc.NewAlphabet(wire.Alphabet), cfg.MaxLen)
+	e.sem = ngram.NewModel(wire.NgramCfg[0], wire.NgramCfg[1], 0)
+	e.sem.Table = fromWire(wire.Ngram)
+	e.sem.SetKnownMentionHashes(wire.KnownMentions)
+
+	jointDim := cfg.Dim
+	if cfg.MentionSlot {
+		jointDim += cfg.Dim
+	}
+	if !cfg.SingleModel {
+		e.cnn = nn.NewCharCNN(rng, e.enc.Alphabet.Size(), cfg.CNNChannels, cfg.Kernel, cfg.CNNLayers)
+		jointDim += e.cnn.OutDim()
+	}
+	e.mlp = nn.NewMLP(rng, jointDim, cfg.Hidden, cfg.Dim)
+
+	params := e.masterParams()
+	if len(params) != len(wire.Params) {
+		return nil, fmt.Errorf("core: model shape mismatch: %d params stored, %d expected", len(wire.Params), len(params))
+	}
+	for i, p := range params {
+		w := wire.Params[i]
+		if w.Rows != p.W.Rows || w.Cols != p.W.Cols {
+			return nil, fmt.Errorf("core: param %d shape %dx%d, expected %dx%d", i, w.Rows, w.Cols, p.W.Rows, p.W.Cols)
+		}
+		p.W.Data = w.Data
+	}
+	if err := e.buildIndex(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// SaveFile writes the model to path.
+func (e *EmbLookup) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := e.Write(bw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a model saved with SaveFile and rebuilds its index over g.
+func LoadFile(path string, g *kg.Graph) (*EmbLookup, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(bufio.NewReader(f), g)
+}

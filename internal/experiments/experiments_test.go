@@ -1,0 +1,255 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The suite shares one environment: building it (graph generation + two
+// model trainings) dominates the cost of every driver.
+var (
+	envOnce sync.Once
+	testEnv *Env
+	envErr  error
+)
+
+func sharedEnv(t *testing.T) *Env {
+	t.Helper()
+	envOnce.Do(func() {
+		o := TestOptions()
+		o.Entities = 300
+		o.WikidataTables = 16
+		o.DBPediaTables = 8
+		o.ToughTableCount = 2
+		o.TrainConfig.Epochs = 4
+		o.AliasVariants = 1
+		testEnv, envErr = NewEnv(o)
+	})
+	if envErr != nil {
+		t.Fatal(envErr)
+	}
+	return testEnv
+}
+
+// cell parses a float cell.
+func cell(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.TrimSuffix(strings.TrimSpace(s), "x")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("unparseable cell %q", s)
+	}
+	return v
+}
+
+func TestTableIShape(t *testing.T) {
+	env := sharedEnv(t)
+	r := env.TableI()
+	if len(r.Rows) != 4 {
+		t.Fatalf("Table I has %d rows", len(r.Rows))
+	}
+	wikiRows := cell(t, r.Rows[1][1])
+	dbpRows := cell(t, r.Rows[1][2])
+	toughRows := cell(t, r.Rows[1][3])
+	if !(wikiRows < dbpRows && dbpRows < toughRows) {
+		t.Fatalf("row-size ordering broken: %v %v %v", wikiRows, dbpRows, toughRows)
+	}
+}
+
+func TestTableIIShape(t *testing.T) {
+	env := sharedEnv(t)
+	r := env.TableII()
+	if len(r.Rows) != 8 {
+		t.Fatalf("Table II has %d rows", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		system := row[1]
+		spCPU := cell(t, row[2])
+		fOrig := cell(t, row[6])
+		fEL := cell(t, row[7])
+		// Remote-backed systems must show the order-of-magnitude speedup
+		// the paper reports.
+		if (system == "bbw" || system == "JenTab") && spCPU < 50 {
+			t.Errorf("%s speedup %v, want >> 1 (remote latency)", system, spCPU)
+		}
+		// Accuracy must be close to the original (paper: within 0.03; the
+		// scaled-down training budget gets a looser bound).
+		if fOrig-fEL > 0.25 {
+			t.Errorf("%s/%s EL accuracy gap too large: %.2f vs %.2f", row[0], system, fEL, fOrig)
+		}
+	}
+}
+
+func TestTableIVShape(t *testing.T) {
+	env := sharedEnv(t)
+	r := env.TableIV()
+	if len(r.Rows) != 8 {
+		t.Fatalf("Table IV has %d rows", len(r.Rows))
+	}
+	// EmbLookup must stay in the same ballpark as the originals under
+	// noise (the paper shows it winning; our baselines are stronger, see
+	// EXPERIMENTS.md).
+	for _, row := range r.Rows {
+		if cell(t, row[2])-cell(t, row[3]) > 0.3 {
+			t.Errorf("%s/%s: EL collapsed under noise: %s vs %s", row[0], row[1], row[3], row[2])
+		}
+	}
+}
+
+func TestTableVShape(t *testing.T) {
+	env := sharedEnv(t)
+	r := env.TableV()
+	if len(r.Rows) != 9 {
+		t.Fatalf("Table V has %d rows", len(r.Rows))
+	}
+	byName := map[string][]string{}
+	for _, row := range r.Rows {
+		byName[row[0]] = row
+	}
+	// Remote services must be orders of magnitude slower than EmbLookup.
+	for _, name := range []string{"wikidata-api", "searx-api"} {
+		if sp := cell(t, byName[name][1]); sp < 50 {
+			t.Errorf("%s speedup = %v, want >> 1", name, sp)
+		}
+	}
+	// FuzzyWuzzy scans are far slower than EmbLookup.
+	if sp := cell(t, byName["fuzzywuzzy"][1]); sp < 5 {
+		t.Errorf("fuzzywuzzy speedup = %v, want > 5", sp)
+	}
+}
+
+func TestTableVIShape(t *testing.T) {
+	env := sharedEnv(t)
+	r := env.TableVI()
+	if len(r.Rows) != 8 {
+		t.Fatalf("Table VI has %d rows", len(r.Rows))
+	}
+	// The alias-row variant must dominate the originals in most rows —
+	// the semantic-lookup capability the paper demonstrates.
+	wins := 0
+	for _, row := range r.Rows {
+		if cell(t, row[4]) >= cell(t, row[2])-0.05 {
+			wins++
+		}
+	}
+	if wins < 5 {
+		t.Errorf("EL+A beat originals in only %d/8 rows", wins)
+	}
+}
+
+func TestTableVIIShape(t *testing.T) {
+	env := sharedEnv(t)
+	r := env.TableVII()
+	if len(r.Rows) != 5 {
+		t.Fatalf("Table VII has %d rows", len(r.Rows))
+	}
+	errF := map[string]float64{}
+	for _, row := range r.Rows {
+		name := row[0]
+		if strings.HasPrefix(name, "emblookup") {
+			name = "emblookup"
+		}
+		errF[name] = cell(t, row[2])
+	}
+	// word2vec's OOV collapse is the defining result.
+	if errF["word2vec"] >= errF["emblookup"] {
+		t.Errorf("word2vec (%.2f) should collapse below emblookup (%.2f) under noise",
+			errF["word2vec"], errF["emblookup"])
+	}
+	if errF["word2vec"] >= errF["fasttext"] {
+		t.Errorf("word2vec should be far below fasttext under noise")
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	env := sharedEnv(t)
+	r := env.Figure4()
+	if len(r.Rows) < 5 {
+		t.Fatalf("Figure 4 has %d points", len(r.Rows))
+	}
+	// Recall must recover for large k (the paper's core observation).
+	small := cell(t, r.Rows[1][1])             // k=2
+	large := cell(t, r.Rows[len(r.Rows)-1][1]) // k=100
+	if large < small-0.05 {
+		t.Errorf("PQ recall did not recover with k: %.2f@small vs %.2f@large", small, large)
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	env := sharedEnv(t)
+	r := env.Figure5()
+	if len(r.Rows) < 3 {
+		t.Fatalf("Figure 5 has %d points", len(r.Rows))
+	}
+	// At the smallest byte budget PQ must beat PCA on at least one task —
+	// the paper's conclusion that quantization preserves accuracy better
+	// than dimensionality reduction at equal storage.
+	first := r.Rows[0]
+	ceaPQ, ceaPCA := cell(t, first[1]), cell(t, first[2])
+	ctaPQ, ctaPCA := cell(t, first[3]), cell(t, first[4])
+	if ceaPQ < ceaPCA-0.02 && ctaPQ < ctaPCA-0.02 {
+		t.Errorf("PCA beat PQ at the smallest budget on both tasks: CEA %.2f/%.2f CTA %.2f/%.2f",
+			ceaPQ, ceaPCA, ctaPQ, ctaPCA)
+	}
+}
+
+func TestRunDispatch(t *testing.T) {
+	env := sharedEnv(t)
+	if _, err := env.Run("table1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := env.Run("nonsense"); err == nil {
+		t.Fatal("unknown id should error")
+	}
+	ids := AllIDs()
+	if len(ids) != 13 {
+		t.Fatalf("AllIDs = %v", ids)
+	}
+}
+
+func TestAblationsShape(t *testing.T) {
+	env := sharedEnv(t)
+	r := env.Ablations()
+	if len(r.Rows) < 6 {
+		t.Fatalf("Ablations has only %d rows", len(r.Rows))
+	}
+	byName := map[string][]string{}
+	for _, row := range r.Rows {
+		byName[row[0]] = row
+	}
+	// Alias rows must enlarge the index.
+	base := cell(t, byName["default (two models)"][3])
+	withA := cell(t, byName["alias rows indexed"][3])
+	if withA <= base {
+		t.Errorf("alias rows should enlarge the index: %v vs %v", withA, base)
+	}
+}
+
+func TestKGEmbedDemoShape(t *testing.T) {
+	env := sharedEnv(t)
+	r := env.KGEmbedDemo()
+	if len(r.Rows) != 2 {
+		t.Fatalf("KGEmbedDemo has %d rows", len(r.Rows))
+	}
+	transeAlias := cell(t, r.Rows[0][3])
+	elAlias := cell(t, r.Rows[1][3])
+	// The Section I argument: the KG-embedding pipeline collapses on
+	// aliases while EmbLookup resolves many of them.
+	if transeAlias >= elAlias {
+		t.Errorf("TransE alias F (%.2f) should be far below EmbLookup (%.2f)", transeAlias, elAlias)
+	}
+}
+
+func TestReportRender(t *testing.T) {
+	r := &Report{ID: "X", Title: "demo", Header: []string{"a", "b"}}
+	r.AddRow("1", "2")
+	r.AddNote("note %d", 7)
+	out := r.String()
+	for _, want := range []string{"X — demo", "a", "1", "note: note 7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

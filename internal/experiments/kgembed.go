@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"emblookup/internal/baselines"
+	"emblookup/internal/kg"
+	"emblookup/internal/kgembed"
+	"emblookup/internal/lookup"
+	"emblookup/internal/metrics"
+	"emblookup/internal/tabular"
+)
+
+// kgEmbedService is the best lookup one can build from a knowledge-graph
+// embedding model alone: resolve the query string to an entity id (KG
+// embeddings have no string input, so this step needs a symbolic index —
+// here exact match over labels), then expand to the entities nearest in
+// embedding space. Section I of the paper argues this two-step design is
+// why KG embeddings "are not directly applicable" to lookup; this service
+// makes the argument measurable.
+type kgEmbedService struct {
+	resolver *baselines.Exact
+	model    *kgembed.Model
+	graph    *kg.Graph
+}
+
+// Name implements lookup.Service.
+func (s *kgEmbedService) Name() string { return "kg-embedding (TransE)" }
+
+// Lookup resolves then expands.
+func (s *kgEmbedService) Lookup(q string, k int) []lookup.Candidate {
+	seed := s.resolver.Lookup(q, 1)
+	if len(seed) == 0 {
+		return nil // the string never resolved — the failure mode under noise
+	}
+	anchor := seed[0].ID
+	out := []lookup.Candidate{{ID: anchor, Score: 0}}
+	type scored struct {
+		id  kg.EntityID
+		sim float32
+	}
+	best := make([]scored, 0, k)
+	for i := range s.graph.Entities {
+		id := kg.EntityID(i)
+		if id == anchor {
+			continue
+		}
+		sim := s.model.Similarity(anchor, id)
+		pos := len(best)
+		for pos > 0 && best[pos-1].sim < sim {
+			pos--
+		}
+		if pos < k-1 {
+			if len(best) < k-1 {
+				best = append(best, scored{})
+			}
+			copy(best[pos+1:], best[pos:])
+			best[pos] = scored{id: id, sim: sim}
+		}
+	}
+	for _, b := range best {
+		out = append(out, lookup.Candidate{ID: b.id, Score: float64(b.sim)})
+	}
+	return lookup.DedupeTopK(out, k)
+}
+
+// KGEmbedDemo quantifies the paper's Section I argument: a TransE model
+// over the same graph, wrapped into the only lookup it supports (symbolic
+// resolution + neighborhood expansion), collapses on noisy and alias
+// queries while EmbLookup does not — even though TransE is good at its own
+// job (link prediction hit@20 is reported alongside).
+func (env *Env) KGEmbedDemo() *Report {
+	r := &Report{ID: "KG-Embed", Title: "Why KG embeddings cannot serve lookup (Section I)",
+		Header: []string{"Service", "F(clean)", "F(10% err)", "F(aliases)"}}
+
+	model, err := kgembed.Train(env.WGraph, kgembed.DefaultConfig())
+	if err != nil {
+		r.AddNote("TransE training failed: %v", err)
+		return r
+	}
+	svc := &kgEmbedService{
+		resolver: baselines.NewExact(lookup.CorpusFromGraph(env.WGraph, false)),
+		model:    model,
+		graph:    env.WGraph,
+	}
+
+	measure := func(s lookup.Service, ds *tabular.Dataset) float64 {
+		var conf metrics.Confusion
+		for _, tb := range ds.Tables {
+			for _, row := range tb.Rows {
+				for _, cellv := range row {
+					if !cellv.IsEntity() {
+						continue
+					}
+					hit := false
+					for _, c := range s.Lookup(cellv.Text, 10) {
+						if c.ID == cellv.Truth {
+							hit = true
+							break
+						}
+					}
+					conf.Record(true, hit)
+				}
+			}
+		}
+		return conf.F1()
+	}
+
+	alias := tabular.SubstituteAliases(env.WikidataDS, env.Opts.NoiseSeed+400)
+	for _, s := range []lookup.Service{svc, env.WEL} {
+		r.AddRow(s.Name(),
+			f2(measure(s, env.WikidataDS)),
+			f2(measure(s, env.WikidataNoisy)),
+			f2(measure(s, alias)))
+	}
+
+	// TransE is competent at its own task: report link-prediction hit@20.
+	hits, total := 0, 0
+	for _, f := range env.WGraph.Facts {
+		if f.Object == kg.NoEntity {
+			continue
+		}
+		total++
+		for _, cand := range model.PredictTail(f.Subject, f.Prop, 20) {
+			if cand == f.Object {
+				hits++
+				break
+			}
+		}
+		if total >= 300 {
+			break
+		}
+	}
+	if total > 0 {
+		r.AddNote("the same TransE model scores hit@20 = %.2f on link prediction — the task it is built for", float64(hits)/float64(total))
+	}
+	r.AddNote("success = ground-truth entity in top-10; the TransE pipeline must first resolve the string symbolically (exact match), which is what collapses under noise and aliases")
+	return r
+}

@@ -1,0 +1,90 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section IV) over the synthetic substrate: Tables I–VIII and
+// Figures 3–5. Each driver prints the same rows/series the paper reports;
+// EXPERIMENTS.md records the paper-vs-measured comparison. Absolute numbers
+// differ (simulated substrate, laptop scale) but the drivers are written so
+// the qualitative shape — who wins, by roughly what factor, where the
+// crossovers fall — is directly checkable.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Report is one rendered experiment: a titled text table plus free-form
+// notes (assumptions, substitutions, scale).
+type Report struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends one formatted row.
+func (r *Report) AddRow(cells ...string) {
+	r.Rows = append(r.Rows, cells)
+}
+
+// AddNote appends one note line.
+func (r *Report) AddNote(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the report as an aligned text table.
+func (r *Report) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s — %s\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(r.Header)
+	sep := make([]string, len(r.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// String renders to a string.
+func (r *Report) String() string {
+	var b strings.Builder
+	r.Render(&b)
+	return b.String()
+}
+
+// f2 formats an F-score the way the paper prints them.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }

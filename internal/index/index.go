@@ -1,0 +1,177 @@
+// Package index implements the similarity-search substrate of Section
+// III-C/D — the reproduction's FAISS: an exact flat index, a
+// product-quantized index with ADC scanning, and an IVF (inverted-file)
+// variant with a coarse quantizer. BatchSearch fans a query batch across
+// all CPU cores; that parallel mode is this reproduction's stand-in for the
+// paper's GPU acceleration (a GPU is a data-parallel device, and the GPU
+// columns of the paper's tables measure exactly this batched regime).
+package index
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"emblookup/internal/mathx"
+)
+
+// Result is one nearest neighbor: the row id of the stored vector and its
+// (possibly approximate) squared L2 distance to the query.
+type Result struct {
+	ID   int32
+	Dist float32
+}
+
+// Index is a k-nearest-neighbor index over fixed vectors.
+type Index interface {
+	// Search returns the k nearest stored vectors to q, nearest first.
+	Search(q []float32, k int) []Result
+	// Len returns the number of stored vectors.
+	Len() int
+	// Dim returns the vector dimensionality.
+	Dim() int
+	// SizeBytes returns the approximate storage the index needs for its
+	// vector payload (codes or raw floats), excluding codebooks.
+	SizeBytes() int
+}
+
+// BatchSearch runs Search for every query using `parallelism` goroutines
+// (≤0 means GOMAXPROCS). Results align with the query order.
+func BatchSearch(ix Index, queries [][]float32, k, parallelism int) [][]Result {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(queries) {
+		parallelism = len(queries)
+	}
+	out := make([][]Result, len(queries))
+	if parallelism <= 1 {
+		for i, q := range queries {
+			out[i] = ix.Search(q, k)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, len(queries))
+	for i := range queries {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = ix.Search(queries[i], k)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// topK maintains the k smallest distances seen, as a bounded max-heap.
+type topK struct {
+	k    int
+	heap []Result // max-heap on Dist
+}
+
+func newTopK(k int) *topK { return &topK{k: k} }
+
+func (t *topK) push(id int32, dist float32) {
+	if len(t.heap) < t.k {
+		t.heap = append(t.heap, Result{ID: id, Dist: dist})
+		t.up(len(t.heap) - 1)
+		return
+	}
+	if dist >= t.heap[0].Dist {
+		return
+	}
+	t.heap[0] = Result{ID: id, Dist: dist}
+	t.down(0)
+}
+
+// worst returns the current k-th distance, or +inf while underfull.
+func (t *topK) worst() float32 {
+	if len(t.heap) < t.k {
+		return float32(3.4e38)
+	}
+	return t.heap[0].Dist
+}
+
+func (t *topK) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if t.heap[parent].Dist >= t.heap[i].Dist {
+			return
+		}
+		t.heap[parent], t.heap[i] = t.heap[i], t.heap[parent]
+		i = parent
+	}
+}
+
+func (t *topK) down(i int) {
+	n := len(t.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && t.heap[l].Dist > t.heap[largest].Dist {
+			largest = l
+		}
+		if r < n && t.heap[r].Dist > t.heap[largest].Dist {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		t.heap[i], t.heap[largest] = t.heap[largest], t.heap[i]
+		i = largest
+	}
+}
+
+// sorted extracts the results nearest-first.
+func (t *topK) sorted() []Result {
+	out := append([]Result(nil), t.heap...)
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Dist != out[b].Dist {
+			return out[a].Dist < out[b].Dist
+		}
+		return out[a].ID < out[b].ID
+	})
+	return out
+}
+
+// Flat is the exact brute-force index: it stores the raw vectors and scans
+// them all per query. It is the ground truth the approximate indexes are
+// measured against (Figure 4).
+type Flat struct {
+	data *mathx.Matrix
+}
+
+// NewFlat builds a flat index over the rows of data. The matrix is retained,
+// not copied.
+func NewFlat(data *mathx.Matrix) *Flat { return &Flat{data: data} }
+
+// Len returns the number of stored vectors.
+func (f *Flat) Len() int { return f.data.Rows }
+
+// Dim returns the vector dimensionality.
+func (f *Flat) Dim() int { return f.data.Cols }
+
+// SizeBytes returns the raw float storage cost.
+func (f *Flat) SizeBytes() int { return f.data.Rows * f.data.Cols * 4 }
+
+// Search scans every stored vector.
+func (f *Flat) Search(q []float32, k int) []Result {
+	if k <= 0 {
+		return nil
+	}
+	t := newTopK(k)
+	for i := 0; i < f.data.Rows; i++ {
+		t.push(int32(i), mathx.SquaredL2(q, f.data.Row(i)))
+	}
+	return t.sorted()
+}
+
+// Reconstruct returns the stored vector for id (shared storage).
+func (f *Flat) Reconstruct(id int32) []float32 { return f.data.Row(int(id)) }

@@ -1,0 +1,150 @@
+package index
+
+import (
+	"emblookup/internal/mathx"
+	"emblookup/internal/quant"
+)
+
+// IVFConfig configures the inverted-file index.
+type IVFConfig struct {
+	// NList is the number of coarse clusters (inverted lists).
+	NList int
+	// NProbe is how many nearest lists a query scans. Larger values trade
+	// speed for recall.
+	NProbe int
+	// PQ, when non-nil, stores residual codes instead of raw vectors
+	// (IVF-PQ); nil keeps raw vectors in the lists (IVF-Flat).
+	PQ    *quant.PQConfig
+	Iters int
+	Seed  uint64
+}
+
+// DefaultIVFConfig sizes the coarse quantizer as ~sqrt(n) lists probing 8.
+func DefaultIVFConfig(n int) IVFConfig {
+	nlist := 1
+	for nlist*nlist < n {
+		nlist++
+	}
+	if nlist < 4 {
+		nlist = 4
+	}
+	return IVFConfig{NList: nlist, NProbe: 8, Iters: 10, Seed: 53}
+}
+
+// IVF is an inverted-file index: a coarse k-means quantizer routes each
+// vector to one list; a query scans only the NProbe nearest lists. With the
+// optional PQ it stores compressed codes (FAISS's IVFPQ).
+type IVF struct {
+	coarse *mathx.Matrix // NList × D centroids
+	nprobe int
+	dim    int
+	n      int
+
+	// Raw storage (IVF-Flat): per-list vectors.
+	lists   [][]int32     // vector ids per list
+	vectors *mathx.Matrix // original data, shared
+
+	// Compressed storage (IVF-PQ).
+	pq    *quant.ProductQuantizer
+	codes [][]byte // per-list codes, parallel to lists
+}
+
+// NewIVF builds an inverted-file index over the rows of data.
+func NewIVF(data *mathx.Matrix, cfg IVFConfig) (*IVF, error) {
+	if cfg.NList <= 0 {
+		cfg = DefaultIVFConfig(data.Rows)
+	}
+	cents, assign := quant.KMeans(data, quant.KMeansConfig{K: cfg.NList, MaxIters: cfg.Iters, Seed: cfg.Seed})
+	ix := &IVF{
+		coarse: cents,
+		nprobe: cfg.NProbe,
+		dim:    data.Cols,
+		n:      data.Rows,
+		lists:  make([][]int32, cfg.NList),
+	}
+	if ix.nprobe <= 0 {
+		ix.nprobe = 1
+	}
+	for i, c := range assign {
+		ix.lists[c] = append(ix.lists[c], int32(i))
+	}
+	if cfg.PQ == nil {
+		ix.vectors = data
+		return ix, nil
+	}
+	// IVF-PQ: quantize the residuals (vector − its coarse centroid), the
+	// standard FAISS formulation.
+	residuals := mathx.NewMatrix(data.Rows, data.Cols)
+	for i := 0; i < data.Rows; i++ {
+		r := residuals.Row(i)
+		copy(r, data.Row(i))
+		cRow := cents.Row(assign[i])
+		for j := range r {
+			r[j] -= cRow[j]
+		}
+	}
+	pq, err := quant.TrainPQ(residuals, *cfg.PQ)
+	if err != nil {
+		return nil, err
+	}
+	ix.pq = pq
+	ix.codes = make([][]byte, cfg.NList)
+	for li, ids := range ix.lists {
+		buf := make([]byte, len(ids)*pq.M)
+		for j, id := range ids {
+			pq.EncodeInto(residuals.Row(int(id)), buf[j*pq.M:(j+1)*pq.M])
+		}
+		ix.codes[li] = buf
+	}
+	return ix, nil
+}
+
+// Len returns the number of stored vectors.
+func (ix *IVF) Len() int { return ix.n }
+
+// Dim returns the vector dimensionality.
+func (ix *IVF) Dim() int { return ix.dim }
+
+// SizeBytes returns the payload storage cost.
+func (ix *IVF) SizeBytes() int {
+	if ix.pq == nil {
+		return ix.n * ix.dim * 4
+	}
+	return ix.n * ix.pq.M
+}
+
+// Search probes the nprobe nearest coarse lists.
+func (ix *IVF) Search(q []float32, k int) []Result {
+	if k <= 0 {
+		return nil
+	}
+	// Rank coarse centroids.
+	probes := newTopK(ix.nprobe)
+	for c := 0; c < ix.coarse.Rows; c++ {
+		probes.push(int32(c), mathx.SquaredL2(q, ix.coarse.Row(c)))
+	}
+	t := newTopK(k)
+	for _, pr := range probes.sorted() {
+		li := int(pr.ID)
+		if ix.pq == nil {
+			for _, id := range ix.lists[li] {
+				t.push(id, mathx.SquaredL2(q, ix.vectors.Row(int(id))))
+			}
+			continue
+		}
+		// ADC on residual: table built from (q − centroid).
+		res := mathx.Sub(q, ix.coarse.Row(li))
+		table := ix.pq.ADCTable(res)
+		m, ks := ix.pq.M, ix.pq.Ks
+		buf := ix.codes[li]
+		for j, id := range ix.lists[li] {
+			code := buf[j*m : (j+1)*m]
+			var d float32
+			for b := 0; b < m; b++ {
+				d += table[b*ks+int(code[b])]
+			}
+			t.push(id, d)
+		}
+	}
+	return t.sorted()
+}

@@ -1,0 +1,274 @@
+// Package kg implements the knowledge-graph substrate of the reproduction:
+// the ⟨E, T, P, F⟩ model from Section II of the paper (entities, types,
+// properties, facts), fast label/alias lookup indexes, serialization, and a
+// deterministic synthetic generator that stands in for the Wikidata and
+// DBPedia dumps used by the original evaluation.
+package kg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// EntityID identifies an entity within a Graph. IDs are dense indexes into
+// Graph.Entities.
+type EntityID int32
+
+// TypeID identifies an entity type (class) within a Graph.
+type TypeID int32
+
+// PropID identifies a property (relation) within a Graph.
+type PropID int32
+
+// NoEntity is returned by lookups that find nothing.
+const NoEntity EntityID = -1
+
+// NoType marks the absence of a type (e.g. the root of the type hierarchy).
+const NoType TypeID = -1
+
+// Entity is a knowledge-graph entity: a canonical label plus zero or more
+// aliases (the paper's "entity mentions", sourced from rdfs:label,
+// skos:altLabel, and similar properties), and the set of types it belongs to.
+type Entity struct {
+	ID      EntityID
+	Label   string
+	Aliases []string
+	Types   []TypeID
+}
+
+// Mentions returns the label followed by all aliases.
+func (e *Entity) Mentions() []string {
+	out := make([]string, 0, 1+len(e.Aliases))
+	out = append(out, e.Label)
+	out = append(out, e.Aliases...)
+	return out
+}
+
+// Type is an entity class. Parent links form the type hierarchy used by the
+// column-type-annotation task to pick the most specific common type.
+type Type struct {
+	ID     TypeID
+	Name   string
+	Parent TypeID
+}
+
+// Property is a relation between a subject entity and either an object
+// entity or a literal.
+type Property struct {
+	ID     PropID
+	Name   string
+	Domain TypeID // expected subject type, NoType if unconstrained
+	Range  TypeID // expected object type, NoType for literal-valued props
+}
+
+// Fact is a single ⟨subject, property, object⟩ triple. Exactly one of
+// Object/Literal is meaningful: entity-valued facts set Object and leave
+// Literal empty; literal-valued facts set Object to NoEntity.
+type Fact struct {
+	Subject EntityID
+	Prop    PropID
+	Object  EntityID
+	Literal string
+}
+
+// Graph is an in-memory knowledge graph with lookup indexes. Build the
+// indexes with Reindex after mutating the raw slices directly.
+type Graph struct {
+	Name     string
+	Entities []Entity
+	Types    []Type
+	Props    []Property
+	Facts    []Fact
+
+	byMention map[string][]EntityID // lowercased label/alias -> entities
+	out       [][]int32             // entity -> fact indexes where it is subject
+	in        [][]int32             // entity -> fact indexes where it is object
+}
+
+// NewGraph returns an empty graph with the given name.
+func NewGraph(name string) *Graph {
+	return &Graph{Name: name, byMention: make(map[string][]EntityID)}
+}
+
+// AddType appends a type and returns its ID.
+func (g *Graph) AddType(name string, parent TypeID) TypeID {
+	id := TypeID(len(g.Types))
+	g.Types = append(g.Types, Type{ID: id, Name: name, Parent: parent})
+	return id
+}
+
+// AddProperty appends a property and returns its ID.
+func (g *Graph) AddProperty(name string, domain, rng TypeID) PropID {
+	id := PropID(len(g.Props))
+	g.Props = append(g.Props, Property{ID: id, Name: name, Domain: domain, Range: rng})
+	return id
+}
+
+// AddEntity appends an entity and returns its ID. Reindex (or AddEntity for
+// every entity before the first query) keeps the mention index current.
+func (g *Graph) AddEntity(label string, aliases []string, types ...TypeID) EntityID {
+	id := EntityID(len(g.Entities))
+	g.Entities = append(g.Entities, Entity{ID: id, Label: label, Aliases: aliases, Types: types})
+	if g.byMention != nil {
+		g.indexMentions(id)
+	}
+	return id
+}
+
+// AddFact appends an entity-valued fact.
+func (g *Graph) AddFact(s EntityID, p PropID, o EntityID) {
+	g.Facts = append(g.Facts, Fact{Subject: s, Prop: p, Object: o})
+}
+
+// AddLiteralFact appends a literal-valued fact.
+func (g *Graph) AddLiteralFact(s EntityID, p PropID, lit string) {
+	g.Facts = append(g.Facts, Fact{Subject: s, Prop: p, Object: NoEntity, Literal: lit})
+}
+
+// Entity returns the entity with the given ID, or nil when out of range.
+func (g *Graph) Entity(id EntityID) *Entity {
+	if id < 0 || int(id) >= len(g.Entities) {
+		return nil
+	}
+	return &g.Entities[id]
+}
+
+// Label returns the canonical label for id, or "" when out of range.
+func (g *Graph) Label(id EntityID) string {
+	if e := g.Entity(id); e != nil {
+		return e.Label
+	}
+	return ""
+}
+
+// TypeName returns the name of type id, or "" when out of range.
+func (g *Graph) TypeName(id TypeID) string {
+	if id < 0 || int(id) >= len(g.Types) {
+		return ""
+	}
+	return g.Types[id].Name
+}
+
+// PropName returns the name of property id, or "" when out of range.
+func (g *Graph) PropName(id PropID) string {
+	if id < 0 || int(id) >= len(g.Props) {
+		return ""
+	}
+	return g.Props[id].Name
+}
+
+// Reindex rebuilds the mention and adjacency indexes from the raw slices.
+func (g *Graph) Reindex() {
+	g.byMention = make(map[string][]EntityID, len(g.Entities)*2)
+	for i := range g.Entities {
+		g.indexMentions(EntityID(i))
+	}
+	g.out = make([][]int32, len(g.Entities))
+	g.in = make([][]int32, len(g.Entities))
+	for i, f := range g.Facts {
+		g.out[f.Subject] = append(g.out[f.Subject], int32(i))
+		if f.Object != NoEntity {
+			g.in[f.Object] = append(g.in[f.Object], int32(i))
+		}
+	}
+}
+
+func (g *Graph) indexMentions(id EntityID) {
+	e := &g.Entities[id]
+	for _, m := range e.Mentions() {
+		key := strings.ToLower(m)
+		g.byMention[key] = append(g.byMention[key], id)
+	}
+}
+
+// ExactMatch returns the entities whose label or alias equals q
+// (case-insensitively). The returned slice is shared; callers must not
+// modify it.
+func (g *Graph) ExactMatch(q string) []EntityID {
+	return g.byMention[strings.ToLower(q)]
+}
+
+// FactsFrom returns the facts whose subject is id.
+func (g *Graph) FactsFrom(id EntityID) []Fact {
+	if g.out == nil || int(id) >= len(g.out) || id < 0 {
+		return nil
+	}
+	idx := g.out[id]
+	out := make([]Fact, len(idx))
+	for i, fi := range idx {
+		out[i] = g.Facts[fi]
+	}
+	return out
+}
+
+// FactsTo returns the facts whose object is id.
+func (g *Graph) FactsTo(id EntityID) []Fact {
+	if g.in == nil || int(id) >= len(g.in) || id < 0 {
+		return nil
+	}
+	idx := g.in[id]
+	out := make([]Fact, len(idx))
+	for i, fi := range idx {
+		out[i] = g.Facts[fi]
+	}
+	return out
+}
+
+// Neighbors returns the distinct entities connected to id by any fact, in
+// either direction.
+func (g *Graph) Neighbors(id EntityID) []EntityID {
+	seen := make(map[EntityID]bool)
+	var out []EntityID
+	for _, f := range g.FactsFrom(id) {
+		if f.Object != NoEntity && !seen[f.Object] {
+			seen[f.Object] = true
+			out = append(out, f.Object)
+		}
+	}
+	for _, f := range g.FactsTo(id) {
+		if !seen[f.Subject] {
+			seen[f.Subject] = true
+			out = append(out, f.Subject)
+		}
+	}
+	return out
+}
+
+// HasType reports whether entity id has type t, directly or through the
+// type hierarchy.
+func (g *Graph) HasType(id EntityID, t TypeID) bool {
+	e := g.Entity(id)
+	if e == nil {
+		return false
+	}
+	for _, et := range e.Types {
+		for cur := et; cur != NoType; cur = g.Types[cur].Parent {
+			if cur == t {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TypeDepth returns the depth of t in the hierarchy (root types have depth 0).
+func (g *Graph) TypeDepth(t TypeID) int {
+	d := 0
+	for cur := t; cur != NoType && int(cur) < len(g.Types); cur = g.Types[cur].Parent {
+		if g.Types[cur].Parent == NoType {
+			break
+		}
+		d++
+	}
+	return d
+}
+
+// Stats summarizes the graph for logging and Table I style reporting.
+func (g *Graph) Stats() string {
+	aliases := 0
+	for i := range g.Entities {
+		aliases += len(g.Entities[i].Aliases)
+	}
+	return fmt.Sprintf("%s: %d entities, %d aliases, %d types, %d props, %d facts",
+		g.Name, len(g.Entities), aliases, len(g.Types), len(g.Props), len(g.Facts))
+}

@@ -1,0 +1,190 @@
+package kg
+
+import (
+	"strings"
+
+	"emblookup/internal/mathx"
+)
+
+// nameGen builds pronounceable synthetic labels from syllable inventories so
+// that generated knowledge graphs contain realistic, diverse entity mentions
+// with natural character statistics (rather than random letter soup, which
+// would make the syntactic-similarity learning problem artificially easy).
+type nameGen struct {
+	rng *mathx.RNG
+}
+
+var (
+	onsets          = []string{"b", "br", "c", "ch", "d", "dr", "f", "g", "gr", "h", "j", "k", "kl", "l", "m", "n", "p", "pr", "qu", "r", "s", "st", "sh", "t", "tr", "v", "w", "z", ""}
+	vowels          = []string{"a", "e", "i", "o", "u", "ai", "ea", "ia", "io", "ou"}
+	codas           = []string{"", "", "l", "n", "r", "s", "t", "m", "nd", "rk", "st", "ss"}
+	countrySuffixes = []string{"ia", "land", "stan", "burg", "mark", "onia"}
+	citySuffixes    = []string{"ton", "ville", "burg", "grad", "port", "ford", "ham", "wick"}
+	riverSuffixes   = []string{" River", " Stream", ""}
+	firstNames      = []string{"Alan", "Bela", "Carla", "Dmitri", "Elena", "Farid", "Greta", "Hiro", "Ines", "Jonas", "Karin", "Luca", "Mara", "Nadia", "Omar", "Petra", "Quentin", "Rosa", "Sven", "Talia", "Viktor", "Wanda", "Yusuf", "Zara"}
+	companySuffixes = []string{" Corp", " Systems", " Group", " Industries", " Labs", " Holdings"}
+	universityForms = []string{"University of %s", "%s Institute", "%s Technical University", "%s College"}
+	filmPatterns    = []string{"The %s of %s", "%s Rising", "Return to %s", "%s at Midnight", "The Last %s"}
+	filmNouns       = []string{"Shadow", "Garden", "Voyage", "Empire", "Silence", "Harvest", "Signal", "Winter"}
+	bookPatterns    = []string{"A History of %s", "Letters from %s", "The %s Chronicles", "On %s"}
+)
+
+func (n *nameGen) syllable() string {
+	return onsets[n.rng.Intn(len(onsets))] + vowels[n.rng.Intn(len(vowels))] + codas[n.rng.Intn(len(codas))]
+}
+
+// stem produces a capitalized pronounceable stem of 2-3 syllables.
+func (n *nameGen) stem() string {
+	k := 2 + n.rng.Intn(2)
+	var b strings.Builder
+	for i := 0; i < k; i++ {
+		b.WriteString(n.syllable())
+	}
+	s := b.String()
+	if s == "" {
+		s = "xen"
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
+}
+
+func (n *nameGen) country() string {
+	return n.stem() + countrySuffixes[n.rng.Intn(len(countrySuffixes))]
+}
+
+func (n *nameGen) city() string {
+	return n.stem() + citySuffixes[n.rng.Intn(len(citySuffixes))]
+}
+
+func (n *nameGen) river() string {
+	return n.stem() + riverSuffixes[n.rng.Intn(len(riverSuffixes))]
+}
+
+func (n *nameGen) person() string {
+	first := firstNames[n.rng.Intn(len(firstNames))]
+	return first + " " + n.stem()
+}
+
+func (n *nameGen) company() string {
+	return n.stem() + companySuffixes[n.rng.Intn(len(companySuffixes))]
+}
+
+func (n *nameGen) university(place string) string {
+	form := universityForms[n.rng.Intn(len(universityForms))]
+	return sprintf1(form, place)
+}
+
+func (n *nameGen) film(place string) string {
+	p := filmPatterns[n.rng.Intn(len(filmPatterns))]
+	noun := filmNouns[n.rng.Intn(len(filmNouns))]
+	switch strings.Count(p, "%s") {
+	case 2:
+		return sprintf2(p, noun, place)
+	default:
+		return sprintf1(p, noun)
+	}
+}
+
+func (n *nameGen) book(topic string) string {
+	p := bookPatterns[n.rng.Intn(len(bookPatterns))]
+	return sprintf1(p, topic)
+}
+
+// sprintf1/sprintf2 avoid pulling fmt into the hot generation path.
+func sprintf1(pattern, a string) string {
+	return strings.Replace(pattern, "%s", a, 1)
+}
+
+func sprintf2(pattern, a, b string) string {
+	return strings.Replace(strings.Replace(pattern, "%s", a, 1), "%s", b, 1)
+}
+
+// pseudoTranslate deterministically maps a label into one of several
+// synthetic "languages". Like real cross-lingual aliases (Germany →
+// Deutschland), the output shares essentially no surface form with the
+// input: a fresh name is synthesized from language-specific syllables
+// seeded by the label's hash, so the mapping is deterministic but
+// syntactically unrelated — which is what makes it a *semantic* rather
+// than syntactic lookup challenge.
+type language int
+
+const (
+	langDe language = iota
+	langFr
+	langEs
+	numLanguages
+)
+
+var langSyllables = [numLanguages][]string{
+	langDe: {"schwarz", "hof", "berg", "stein", "wald", "bach", "feld", "dorf", "heim", "muen", "gruen", "burg", "tal", "see", "kirch", "haus"},
+	langFr: {"beau", "mont", "ville", "chateau", "riviere", "clair", "fleur", "noir", "sur", "lac", "grand", "petit", "port", "roche", "val", "bois"},
+	langEs: {"villa", "sierra", "rio", "santa", "monte", "del", "puerto", "casa", "alta", "sol", "verde", "cruz", "isla", "campo", "luna", "mar"},
+}
+
+var langSuffix = [numLanguages]string{langDe: "en", langFr: "", langEs: "o"}
+
+func pseudoTranslate(label string, lang language) string {
+	syll := langSyllables[lang]
+	h := hashLabel(strings.ToLower(label)) ^ (uint64(lang)+1)*0x9e3779b97f4a7c15
+	var b strings.Builder
+	// Four syllables from a 16-way inventory give a 65536-name space per
+	// language, so distinct labels essentially never collide.
+	for i := 0; i < 4; i++ {
+		h = h*6364136223846793005 + 1442695040888963407
+		b.WriteString(syll[h%uint64(len(syll))])
+	}
+	b.WriteString(langSuffix[lang])
+	out := title(b.String())
+	if lang == langFr {
+		out = "Le " + out
+	}
+	return out
+}
+
+func hashLabel(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func title(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
+}
+
+// altSpelling produces a plausible orthographic variant (doubling a
+// consonant or swapping a vowel) — a *syntactically close* alias like
+// colour/color.
+func altSpelling(label string, rng *mathx.RNG) string {
+	r := []rune(label)
+	if len(r) < 3 {
+		return label + "e"
+	}
+	i := 1 + rng.Intn(len(r)-2)
+	switch rng.Intn(3) {
+	case 0: // double a letter
+		out := make([]rune, 0, len(r)+1)
+		out = append(out, r[:i]...)
+		out = append(out, r[i])
+		out = append(out, r[i:]...)
+		return string(out)
+	case 1: // swap a vowel
+		vs := []rune("aeiou")
+		for j := i; j < len(r); j++ {
+			if strings.ContainsRune("aeiou", r[j]) {
+				r[j] = vs[rng.Intn(len(vs))]
+				return string(r)
+			}
+		}
+		return string(r) + "e"
+	default: // drop a silent-ish letter
+		out := make([]rune, 0, len(r)-1)
+		out = append(out, r[:i]...)
+		out = append(out, r[i+1:]...)
+		return string(out)
+	}
+}

@@ -1,0 +1,216 @@
+package kg
+
+import "fmt"
+
+// Triple-pattern queries: a small SPARQL-like matcher over the fact set,
+// the local stand-in for the SPARQL-based Wikidata Query Service the paper
+// lists among remote lookup backends. Patterns are conjunctive (a basic
+// graph pattern); evaluation is a nested-loop join that picks the most
+// selective access path available per pattern (subject index, object
+// index, or full scan).
+
+// Term is one position of a triple pattern: a variable, a bound entity, a
+// bound property, or a bound literal.
+type Term struct {
+	Var     string
+	Entity  EntityID
+	Prop    PropID
+	Literal string
+	kind    termKind
+}
+
+type termKind int
+
+const (
+	termVar termKind = iota
+	termEntity
+	termProp
+	termLiteral
+)
+
+// V makes a variable term (names are arbitrary, "?x"-style prefixes not
+// required).
+func V(name string) Term { return Term{Var: name, kind: termVar} }
+
+// E makes a bound entity term.
+func E(id EntityID) Term { return Term{Entity: id, kind: termEntity} }
+
+// P makes a bound property term.
+func P(id PropID) Term { return Term{Prop: id, kind: termProp} }
+
+// L makes a bound literal term.
+func L(lit string) Term { return Term{Literal: lit, kind: termLiteral} }
+
+// TriplePattern is one ⟨subject, property, object⟩ pattern. The subject
+// must be an entity or variable, the property a property or variable, and
+// the object an entity, literal, or variable.
+type TriplePattern struct {
+	S, P, O Term
+}
+
+// Binding maps variable names to matched values. Entity and property
+// variables bind IDs; object variables over literal facts bind the literal
+// text.
+type Binding struct {
+	Entities map[string]EntityID
+	Props    map[string]PropID
+	Literals map[string]string
+}
+
+func newBinding() *Binding {
+	return &Binding{
+		Entities: map[string]EntityID{},
+		Props:    map[string]PropID{},
+		Literals: map[string]string{},
+	}
+}
+
+func (b *Binding) clone() *Binding {
+	nb := newBinding()
+	for k, v := range b.Entities {
+		nb.Entities[k] = v
+	}
+	for k, v := range b.Props {
+		nb.Props[k] = v
+	}
+	for k, v := range b.Literals {
+		nb.Literals[k] = v
+	}
+	return nb
+}
+
+// Query evaluates a conjunction of triple patterns and returns every
+// consistent binding of the variables. Patterns are joined left to right;
+// each step uses the subject or object adjacency index when that position
+// is already bound. The result is deterministic (fact order).
+func (g *Graph) Query(patterns []TriplePattern) ([]*Binding, error) {
+	for i, p := range patterns {
+		if p.S.kind == termLiteral || p.S.kind == termProp {
+			return nil, fmt.Errorf("kg: pattern %d: subject must be an entity or variable", i)
+		}
+		if p.P.kind == termLiteral || p.P.kind == termEntity {
+			return nil, fmt.Errorf("kg: pattern %d: property must be a property or variable", i)
+		}
+		if p.O.kind == termProp {
+			return nil, fmt.Errorf("kg: pattern %d: object cannot be a property", i)
+		}
+	}
+	results := []*Binding{newBinding()}
+	for _, p := range patterns {
+		var next []*Binding
+		for _, b := range results {
+			next = append(next, g.matchPattern(p, b)...)
+		}
+		results = next
+		if len(results) == 0 {
+			break
+		}
+	}
+	return results, nil
+}
+
+// resolve returns the concrete subject for a pattern under a binding, and
+// whether it is bound.
+func (t Term) resolveEntity(b *Binding) (EntityID, bool) {
+	switch t.kind {
+	case termEntity:
+		return t.Entity, true
+	case termVar:
+		id, ok := b.Entities[t.Var]
+		return id, ok
+	}
+	return NoEntity, false
+}
+
+func (t Term) resolveProp(b *Binding) (PropID, bool) {
+	switch t.kind {
+	case termProp:
+		return t.Prop, true
+	case termVar:
+		id, ok := b.Props[t.Var]
+		return id, ok
+	}
+	return -1, false
+}
+
+// matchPattern extends binding b with every fact matching p.
+func (g *Graph) matchPattern(p TriplePattern, b *Binding) []*Binding {
+	// Choose the cheapest access path.
+	var facts []Fact
+	if s, ok := p.S.resolveEntity(b); ok {
+		facts = g.FactsFrom(s)
+	} else if o, ok := p.O.resolveEntity(b); ok && p.O.kind != termLiteral {
+		facts = g.FactsTo(o)
+	} else {
+		facts = g.Facts
+	}
+
+	var out []*Binding
+	for _, f := range facts {
+		nb := g.tryBind(p, b, f)
+		if nb != nil {
+			out = append(out, nb)
+		}
+	}
+	return out
+}
+
+// tryBind checks fact f against pattern p under binding b, returning the
+// extended binding or nil.
+func (g *Graph) tryBind(p TriplePattern, b *Binding, f Fact) *Binding {
+	// Subject.
+	if s, ok := p.S.resolveEntity(b); ok {
+		if f.Subject != s {
+			return nil
+		}
+	}
+	// Property.
+	if pr, ok := p.P.resolveProp(b); ok {
+		if f.Prop != pr {
+			return nil
+		}
+	}
+	// Object.
+	switch p.O.kind {
+	case termEntity:
+		if f.Object != p.O.Entity {
+			return nil
+		}
+	case termLiteral:
+		if f.Object != NoEntity || f.Literal != p.O.Literal {
+			return nil
+		}
+	case termVar:
+		if f.Object != NoEntity {
+			if id, ok := b.Entities[p.O.Var]; ok && id != f.Object {
+				return nil
+			}
+			if _, ok := b.Literals[p.O.Var]; ok {
+				return nil // previously bound to a literal
+			}
+		} else {
+			if lit, ok := b.Literals[p.O.Var]; ok && lit != f.Literal {
+				return nil
+			}
+			if _, ok := b.Entities[p.O.Var]; ok {
+				return nil
+			}
+		}
+	}
+
+	nb := b.clone()
+	if p.S.kind == termVar {
+		nb.Entities[p.S.Var] = f.Subject
+	}
+	if p.P.kind == termVar {
+		nb.Props[p.P.Var] = f.Prop
+	}
+	if p.O.kind == termVar {
+		if f.Object != NoEntity {
+			nb.Entities[p.O.Var] = f.Object
+		} else {
+			nb.Literals[p.O.Var] = f.Literal
+		}
+	}
+	return nb
+}

@@ -1,0 +1,203 @@
+package kg
+
+import "testing"
+
+// queryGraph builds a small fixed graph:
+//
+//	alice  bornIn   berlin
+//	alice  worksFor acme
+//	bob    bornIn   berlin
+//	bob    worksFor globex
+//	berlin locatedIn germany
+//	acme   population "10" (literal, reusing a prop slot for simplicity)
+func queryGraph(t *testing.T) (*Graph, map[string]EntityID, map[string]PropID) {
+	t.Helper()
+	g := NewGraph("q")
+	root := g.AddType("entity", NoType)
+	person := g.AddType("person", root)
+	city := g.AddType("city", root)
+	country := g.AddType("country", root)
+	company := g.AddType("company", root)
+
+	ents := map[string]EntityID{}
+	ents["alice"] = g.AddEntity("Alice", nil, person)
+	ents["bob"] = g.AddEntity("Bob", nil, person)
+	ents["berlin"] = g.AddEntity("Berlin", nil, city)
+	ents["germany"] = g.AddEntity("Germany", nil, country)
+	ents["acme"] = g.AddEntity("Acme", nil, company)
+	ents["globex"] = g.AddEntity("Globex", nil, company)
+
+	props := map[string]PropID{}
+	props["bornIn"] = g.AddProperty("bornIn", person, city)
+	props["worksFor"] = g.AddProperty("worksFor", person, company)
+	props["locatedIn"] = g.AddProperty("locatedIn", city, country)
+	props["size"] = g.AddProperty("size", company, NoType)
+
+	g.AddFact(ents["alice"], props["bornIn"], ents["berlin"])
+	g.AddFact(ents["alice"], props["worksFor"], ents["acme"])
+	g.AddFact(ents["bob"], props["bornIn"], ents["berlin"])
+	g.AddFact(ents["bob"], props["worksFor"], ents["globex"])
+	g.AddFact(ents["berlin"], props["locatedIn"], ents["germany"])
+	g.AddLiteralFact(ents["acme"], props["size"], "10")
+	g.Reindex()
+	return g, ents, props
+}
+
+func TestQuerySingleBoundSubject(t *testing.T) {
+	g, ents, props := queryGraph(t)
+	res, err := g.Query([]TriplePattern{
+		{S: E(ents["alice"]), P: P(props["bornIn"]), O: V("city")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Entities["city"] != ents["berlin"] {
+		t.Fatalf("bindings = %+v", res)
+	}
+}
+
+func TestQueryVariableSubject(t *testing.T) {
+	g, ents, props := queryGraph(t)
+	res, err := g.Query([]TriplePattern{
+		{S: V("who"), P: P(props["bornIn"]), O: E(ents["berlin"])},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("want alice and bob, got %d bindings", len(res))
+	}
+	found := map[EntityID]bool{}
+	for _, b := range res {
+		found[b.Entities["who"]] = true
+	}
+	if !found[ents["alice"]] || !found[ents["bob"]] {
+		t.Fatal("missing expected subjects")
+	}
+}
+
+func TestQueryJoinAcrossPatterns(t *testing.T) {
+	g, ents, props := queryGraph(t)
+	// Who was born in a city located in Germany, and where do they work?
+	res, err := g.Query([]TriplePattern{
+		{S: V("who"), P: P(props["bornIn"]), O: V("city")},
+		{S: V("city"), P: P(props["locatedIn"]), O: E(ents["germany"])},
+		{S: V("who"), P: P(props["worksFor"]), O: V("employer")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("want 2 joined bindings, got %d", len(res))
+	}
+	for _, b := range res {
+		if b.Entities["city"] != ents["berlin"] {
+			t.Fatal("join leaked a wrong city")
+		}
+		who := b.Entities["who"]
+		emp := b.Entities["employer"]
+		if who == ents["alice"] && emp != ents["acme"] {
+			t.Fatal("alice's employer wrong")
+		}
+		if who == ents["bob"] && emp != ents["globex"] {
+			t.Fatal("bob's employer wrong")
+		}
+	}
+}
+
+func TestQueryLiteralObject(t *testing.T) {
+	g, ents, props := queryGraph(t)
+	res, err := g.Query([]TriplePattern{
+		{S: V("co"), P: P(props["size"]), O: L("10")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Entities["co"] != ents["acme"] {
+		t.Fatalf("literal match = %+v", res)
+	}
+	// Variable object over a literal fact binds the literal.
+	res, err = g.Query([]TriplePattern{
+		{S: E(ents["acme"]), P: P(props["size"]), O: V("n")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Literals["n"] != "10" {
+		t.Fatalf("literal binding = %+v", res)
+	}
+}
+
+func TestQueryVariableProperty(t *testing.T) {
+	g, ents, _ := queryGraph(t)
+	res, err := g.Query([]TriplePattern{
+		{S: E(ents["alice"]), P: V("p"), O: V("o")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("alice has 2 facts, got %d bindings", len(res))
+	}
+}
+
+func TestQueryNoMatch(t *testing.T) {
+	g, ents, props := queryGraph(t)
+	res, err := g.Query([]TriplePattern{
+		{S: E(ents["germany"]), P: P(props["bornIn"]), O: V("x")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 {
+		t.Fatalf("expected no bindings, got %d", len(res))
+	}
+}
+
+func TestQueryInvalidPatterns(t *testing.T) {
+	g, _, props := queryGraph(t)
+	if _, err := g.Query([]TriplePattern{{S: L("x"), P: P(props["bornIn"]), O: V("o")}}); err == nil {
+		t.Fatal("literal subject should error")
+	}
+	if _, err := g.Query([]TriplePattern{{S: V("s"), P: L("x"), O: V("o")}}); err == nil {
+		t.Fatal("literal property should error")
+	}
+	if _, err := g.Query([]TriplePattern{{S: V("s"), P: V("p"), O: P(props["bornIn"])}}); err == nil {
+		t.Fatal("property object should error")
+	}
+}
+
+func TestQuerySharedVariableConsistency(t *testing.T) {
+	g, ents, props := queryGraph(t)
+	// ?x bornIn ?c AND ?x worksFor acme — only alice satisfies both.
+	res, err := g.Query([]TriplePattern{
+		{S: V("x"), P: P(props["bornIn"]), O: V("c")},
+		{S: V("x"), P: P(props["worksFor"]), O: E(ents["acme"])},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Entities["x"] != ents["alice"] {
+		t.Fatalf("shared-variable join = %+v", res)
+	}
+}
+
+func TestQueryOnGeneratedGraph(t *testing.T) {
+	g, s := Generate(DefaultGeneratorConfig(WikidataProfile, 300))
+	// Every person's birthplace must be a city (schema invariant checked
+	// through the query engine).
+	res, err := g.Query([]TriplePattern{
+		{S: V("p"), P: P(s.BornIn), O: V("c")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Fatal("no bornIn facts matched")
+	}
+	for _, b := range res {
+		if !g.HasType(b.Entities["c"], s.City) {
+			t.Fatal("bornIn object is not a city")
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package kg
+
+import (
+	"bufio"
+	"encoding/gob"
+	"io"
+	"os"
+)
+
+// graphWire is the serialized form of a Graph: the derived indexes are
+// rebuilt on load rather than stored.
+type graphWire struct {
+	Name     string
+	Entities []Entity
+	Types    []Type
+	Props    []Property
+	Facts    []Fact
+}
+
+// Write serializes g to w in a compact binary format.
+func (g *Graph) Write(w io.Writer) error {
+	enc := gob.NewEncoder(w)
+	return enc.Encode(graphWire{
+		Name:     g.Name,
+		Entities: g.Entities,
+		Types:    g.Types,
+		Props:    g.Props,
+		Facts:    g.Facts,
+	})
+}
+
+// Read deserializes a Graph written by Write and rebuilds its indexes.
+func Read(r io.Reader) (*Graph, error) {
+	var wire graphWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, err
+	}
+	g := &Graph{
+		Name:     wire.Name,
+		Entities: wire.Entities,
+		Types:    wire.Types,
+		Props:    wire.Props,
+		Facts:    wire.Facts,
+	}
+	g.Reindex()
+	return g, nil
+}
+
+// SaveFile writes g to path, creating or truncating the file.
+func (g *Graph) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := g.Write(bw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a graph previously written with SaveFile.
+func LoadFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(bufio.NewReader(f))
+}

@@ -1,0 +1,184 @@
+// Package kgembed implements a classical knowledge-graph embedding model
+// (TransE) over the fact set ⟨s, p, o⟩. The paper's introduction argues
+// that such embeddings are *not* usable for the lookup operation — they
+// embed entity IDs, not mention strings, so retrieving an embedding
+// requires already knowing the entity — and its conclusion proposes
+// bootstrapping lookup embeddings from them as future work. This package
+// exists for both: the "KG embeddings cannot lookup" demonstration
+// (experiments.KGEmbedDemo) and the bootstrap extension
+// (core.Config.KGBootstrap), and as a coherence signal for collective
+// disambiguation.
+package kgembed
+
+import (
+	"fmt"
+
+	"emblookup/internal/kg"
+	"emblookup/internal/mathx"
+)
+
+// Model holds TransE embeddings: one vector per entity and one per
+// property, trained so that s + p ≈ o for true facts.
+type Model struct {
+	Dim      int
+	Entities *mathx.Matrix // |E| × Dim
+	Props    *mathx.Matrix // |P| × Dim
+}
+
+// Config controls TransE training.
+type Config struct {
+	Dim       int
+	Epochs    int
+	LR        float32
+	Margin    float32
+	Negatives int
+	Seed      uint64
+}
+
+// DefaultConfig returns standard small-graph settings.
+func DefaultConfig() Config {
+	return Config{Dim: 32, Epochs: 30, LR: 0.05, Margin: 1.0, Negatives: 2, Seed: 61}
+}
+
+// Train fits TransE on g's entity-valued facts with margin-based ranking
+// loss and random entity corruption, the original TransE recipe.
+func Train(g *kg.Graph, cfg Config) (*Model, error) {
+	if cfg.Dim <= 0 {
+		cfg = DefaultConfig()
+	}
+	if len(g.Entities) == 0 {
+		return nil, fmt.Errorf("kgembed: empty graph")
+	}
+	rng := mathx.NewRNG(cfg.Seed)
+	m := &Model{
+		Dim:      cfg.Dim,
+		Entities: mathx.NewMatrix(len(g.Entities), cfg.Dim),
+		Props:    mathx.NewMatrix(len(g.Props), cfg.Dim),
+	}
+	m.Entities.FillRandn(rng, 0.5)
+	m.Props.FillRandn(rng, 0.5)
+	for i := 0; i < m.Entities.Rows; i++ {
+		mathx.Normalize(m.Entities.Row(i))
+	}
+
+	// Entity-valued facts only.
+	var facts []kg.Fact
+	for _, f := range g.Facts {
+		if f.Object != kg.NoEntity {
+			facts = append(facts, f)
+		}
+	}
+	if len(facts) == 0 {
+		return m, nil
+	}
+
+	order := make([]int, len(facts))
+	for i := range order {
+		order[i] = i
+	}
+	n := len(g.Entities)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.ShuffleInts(order)
+		for _, fi := range order {
+			f := facts[fi]
+			for neg := 0; neg < cfg.Negatives; neg++ {
+				// Corrupt head or tail.
+				cs, co := f.Subject, f.Object
+				if rng.Bool(0.5) {
+					cs = kg.EntityID(rng.Intn(n))
+				} else {
+					co = kg.EntityID(rng.Intn(n))
+				}
+				if cs == f.Subject && co == f.Object {
+					continue
+				}
+				m.step(f.Subject, f.Prop, f.Object, cs, co, cfg)
+			}
+		}
+		// Re-normalize entities each epoch (TransE's constraint).
+		for i := 0; i < m.Entities.Rows; i++ {
+			mathx.Normalize(m.Entities.Row(i))
+		}
+	}
+	return m, nil
+}
+
+// step applies one margin-ranking update: push the true triple's score
+// ‖s+p−o‖² below the corrupted one's by the margin.
+func (m *Model) step(s kg.EntityID, p kg.PropID, o, cs, co kg.EntityID, cfg Config) {
+	pos := m.Score(s, p, o)
+	neg := m.Score(cs, p, co)
+	if pos+cfg.Margin <= neg {
+		return
+	}
+	// Gradients of ‖s+p−o‖²: d/ds = 2(s+p−o), d/do = −2(s+p−o), d/dp = 2(s+p−o).
+	grad := make([]float32, m.Dim)
+	sv, pv, ov := m.Entities.Row(int(s)), m.Props.Row(int(p)), m.Entities.Row(int(o))
+	for i := range grad {
+		grad[i] = 2 * (sv[i] + pv[i] - ov[i])
+	}
+	mathx.Axpy(-cfg.LR, grad, sv)
+	mathx.Axpy(-cfg.LR, grad, pv)
+	mathx.Axpy(cfg.LR, grad, ov)
+	// Ascent on the corrupted triple.
+	csv, cov := m.Entities.Row(int(cs)), m.Entities.Row(int(co))
+	for i := range grad {
+		grad[i] = 2 * (csv[i] + pv[i] - cov[i])
+	}
+	mathx.Axpy(cfg.LR, grad, csv)
+	mathx.Axpy(cfg.LR, grad, pv)
+	mathx.Axpy(-cfg.LR, grad, cov)
+}
+
+// Score returns ‖s + p − o‖², lower for more plausible facts.
+func (m *Model) Score(s kg.EntityID, p kg.PropID, o kg.EntityID) float32 {
+	sv := m.Entities.Row(int(s))
+	pv := m.Props.Row(int(p))
+	ov := m.Entities.Row(int(o))
+	var sum float32
+	for i := 0; i < m.Dim; i++ {
+		d := sv[i] + pv[i] - ov[i]
+		sum += d * d
+	}
+	return sum
+}
+
+// Entity returns the embedding of entity id (shared storage).
+func (m *Model) Entity(id kg.EntityID) []float32 { return m.Entities.Row(int(id)) }
+
+// PredictTail ranks all entities as tail candidates for (s, p) and returns
+// the ids of the k best — the link-prediction task KG embeddings are
+// actually built for.
+func (m *Model) PredictTail(s kg.EntityID, p kg.PropID, k int) []kg.EntityID {
+	type scored struct {
+		id kg.EntityID
+		d  float32
+	}
+	best := make([]scored, 0, k)
+	for o := 0; o < m.Entities.Rows; o++ {
+		d := m.Score(s, p, kg.EntityID(o))
+		if len(best) == k && d >= best[k-1].d {
+			continue
+		}
+		pos := len(best)
+		for pos > 0 && best[pos-1].d > d {
+			pos--
+		}
+		if len(best) < k {
+			best = append(best, scored{})
+		}
+		copy(best[pos+1:], best[pos:])
+		best[pos] = scored{id: kg.EntityID(o), d: d}
+	}
+	out := make([]kg.EntityID, len(best))
+	for i, b := range best {
+		out[i] = b.id
+	}
+	return out
+}
+
+// Similarity returns −‖e1 − e2‖², a relatedness score between entities
+// (higher = more related), the signal joint-disambiguation systems use.
+func (m *Model) Similarity(a, b kg.EntityID) float32 {
+	return -mathx.SquaredL2(m.Entity(a), m.Entity(b))
+}

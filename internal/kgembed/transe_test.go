@@ -1,0 +1,139 @@
+package kgembed
+
+import (
+	"testing"
+
+	"emblookup/internal/kg"
+	"emblookup/internal/mathx"
+)
+
+func trainSmall(t *testing.T) (*kg.Graph, *kg.Schema, *Model) {
+	t.Helper()
+	g, s := kg.Generate(kg.DefaultGeneratorConfig(kg.WikidataProfile, 400))
+	m, err := Train(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, s, m
+}
+
+func TestTrainShapes(t *testing.T) {
+	g, _, m := trainSmall(t)
+	if m.Entities.Rows != len(g.Entities) || m.Props.Rows != len(g.Props) {
+		t.Fatal("embedding table shapes wrong")
+	}
+	if len(m.Entity(0)) != m.Dim {
+		t.Fatal("entity dim wrong")
+	}
+}
+
+func TestTrueFactsScoreBetterThanCorrupted(t *testing.T) {
+	g, _, m := trainSmall(t)
+	rng := mathx.NewRNG(9)
+	better, total := 0, 0
+	for _, f := range g.Facts {
+		if f.Object == kg.NoEntity {
+			continue
+		}
+		total++
+		corrupt := kg.EntityID(rng.Intn(len(g.Entities)))
+		if m.Score(f.Subject, f.Prop, f.Object) < m.Score(f.Subject, f.Prop, corrupt) {
+			better++
+		}
+		if total >= 500 {
+			break
+		}
+	}
+	if frac := float64(better) / float64(total); frac < 0.8 {
+		t.Fatalf("true facts outscored corrupted only %.2f of the time", frac)
+	}
+}
+
+func TestPredictTailRanksTruth(t *testing.T) {
+	g, _, m := trainSmall(t)
+	hits, total := 0, 0
+	for _, f := range g.Facts {
+		if f.Object == kg.NoEntity {
+			continue
+		}
+		total++
+		for _, cand := range m.PredictTail(f.Subject, f.Prop, 20) {
+			if cand == f.Object {
+				hits++
+				break
+			}
+		}
+		if total >= 200 {
+			break
+		}
+	}
+	// Link prediction on a small sparse graph is hard; require clearly
+	// better than chance (20/400 = 5%).
+	if frac := float64(hits) / float64(total); frac < 0.25 {
+		t.Fatalf("hit@20 = %.2f, want >= 0.25", frac)
+	}
+}
+
+func TestSimilarityPrefersNeighbors(t *testing.T) {
+	g, _, m := trainSmall(t)
+	rng := mathx.NewRNG(3)
+	wins, total := 0, 0
+	for i := 0; i < 300; i++ {
+		id := kg.EntityID(rng.Intn(len(g.Entities)))
+		nbrs := g.Neighbors(id)
+		if len(nbrs) == 0 {
+			continue
+		}
+		nb := nbrs[rng.Intn(len(nbrs))]
+		rand := kg.EntityID(rng.Intn(len(g.Entities)))
+		if rand == id || rand == nb {
+			continue
+		}
+		total++
+		if m.Similarity(id, nb) > m.Similarity(id, rand) {
+			wins++
+		}
+	}
+	if total == 0 {
+		t.Skip("no connected samples")
+	}
+	if frac := float64(wins) / float64(total); frac < 0.6 {
+		t.Fatalf("neighbors preferred only %.2f of the time", frac)
+	}
+}
+
+func TestTrainEmptyGraph(t *testing.T) {
+	g := kg.NewGraph("empty")
+	if _, err := Train(g, DefaultConfig()); err == nil {
+		t.Fatal("expected error for empty graph")
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	g, _ := kg.Generate(kg.DefaultGeneratorConfig(kg.WikidataProfile, 150))
+	cfg := DefaultConfig()
+	cfg.Epochs = 5
+	m1, err := Train(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Train(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m1.Entities.Data {
+		if m1.Entities.Data[i] != m2.Entities.Data[i] {
+			t.Fatal("TransE training not deterministic")
+		}
+	}
+}
+
+func TestEntitiesStayNormalized(t *testing.T) {
+	_, _, m := trainSmall(t)
+	for i := 0; i < m.Entities.Rows; i++ {
+		n := mathx.Norm(m.Entities.Row(i))
+		if n < 0.9 || n > 1.1 {
+			t.Fatalf("entity %d norm %v, want ~1", i, n)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package lookup
+
+import (
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"emblookup/internal/kg"
+)
+
+// echoService returns one candidate whose ID encodes the query, and counts
+// concurrent callers to verify Bulk's parallelism.
+type echoService struct {
+	calls     atomic.Int64
+	inFlight  atomic.Int64
+	maxFlight atomic.Int64
+	delay     time.Duration
+}
+
+func (e *echoService) Name() string { return "echo" }
+
+func (e *echoService) Lookup(q string, k int) []Candidate {
+	e.calls.Add(1)
+	cur := e.inFlight.Add(1)
+	for {
+		max := e.maxFlight.Load()
+		if cur <= max || e.maxFlight.CompareAndSwap(max, cur) {
+			break
+		}
+	}
+	if e.delay > 0 {
+		time.Sleep(e.delay)
+	}
+	e.inFlight.Add(-1)
+	n, _ := strconv.Atoi(q)
+	return []Candidate{{ID: kg.EntityID(n), Score: 1}}
+}
+
+func queries(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = strconv.Itoa(i)
+	}
+	return out
+}
+
+func TestBulkPreservesOrder(t *testing.T) {
+	svc := &echoService{}
+	res := Bulk(svc, queries(100), 1, 8)
+	for i, cands := range res {
+		if len(cands) != 1 || cands[0].ID != kg.EntityID(i) {
+			t.Fatalf("result %d misaligned: %+v", i, cands)
+		}
+	}
+	if svc.calls.Load() != 100 {
+		t.Fatalf("calls = %d", svc.calls.Load())
+	}
+}
+
+func TestBulkSequentialWhenParallelismOne(t *testing.T) {
+	svc := &echoService{delay: time.Millisecond}
+	Bulk(svc, queries(8), 1, 1)
+	if svc.maxFlight.Load() != 1 {
+		t.Fatalf("max in-flight = %d, want 1", svc.maxFlight.Load())
+	}
+}
+
+func TestBulkEmpty(t *testing.T) {
+	svc := &echoService{}
+	if out := Bulk(svc, nil, 1, 4); len(out) != 0 {
+		t.Fatal("empty bulk should return empty")
+	}
+}
+
+func TestTimedReturnsDuration(t *testing.T) {
+	svc := &echoService{delay: 2 * time.Millisecond}
+	_, d := Timed(svc, queries(4), 1, 1)
+	if d < 8*time.Millisecond {
+		t.Fatalf("Timed duration %v too small", d)
+	}
+}
+
+func TestDedupeTopK(t *testing.T) {
+	in := []Candidate{{ID: 1, Score: 5}, {ID: 2, Score: 4}, {ID: 1, Score: 3}, {ID: 3, Score: 2}}
+	out := DedupeTopK(in, 2)
+	if len(out) != 2 || out[0].ID != 1 || out[1].ID != 2 {
+		t.Fatalf("DedupeTopK = %+v", out)
+	}
+	if out[0].Score != 5 {
+		t.Fatal("should keep the best-scored occurrence")
+	}
+	if got := DedupeTopK(in, 10); len(got) != 3 {
+		t.Fatalf("k beyond distinct = %+v", got)
+	}
+	if got := DedupeTopK(nil, 3); len(got) != 0 {
+		t.Fatal("nil input should yield empty")
+	}
+}
+
+func TestCorpusFromGraph(t *testing.T) {
+	g := kg.NewGraph("t")
+	root := g.AddType("entity", kg.NoType)
+	g.AddEntity("Germany", []string{"Deutschland", "FRG"}, root)
+	g.AddEntity("France", nil, root)
+	g.Reindex()
+
+	labels := CorpusFromGraph(g, false)
+	if len(labels.Mentions) != 2 {
+		t.Fatalf("labels corpus = %d mentions", len(labels.Mentions))
+	}
+	full := CorpusFromGraph(g, true)
+	if len(full.Mentions) != 4 {
+		t.Fatalf("full corpus = %d mentions", len(full.Mentions))
+	}
+	if full.SizeBytes() <= labels.SizeBytes() {
+		t.Fatal("alias corpus should cost more")
+	}
+}
+
+type fakeClock struct {
+	echoService
+	virtual time.Duration
+}
+
+func (f *fakeClock) VirtualElapsed() time.Duration { return f.virtual }
+func (f *fakeClock) ResetVirtual()                 { f.virtual = 0 }
+
+func TestTotalDuration(t *testing.T) {
+	f := &fakeClock{virtual: time.Second}
+	if got := TotalDuration(f, time.Millisecond); got != time.Second+time.Millisecond {
+		t.Fatalf("TotalDuration = %v", got)
+	}
+	plain := &echoService{}
+	if got := TotalDuration(plain, time.Millisecond); got != time.Millisecond {
+		t.Fatalf("plain TotalDuration = %v", got)
+	}
+}

@@ -1,0 +1,104 @@
+package mathx
+
+import "fmt"
+
+// Matrix is a dense row-major float32 matrix. The zero value is an empty
+// matrix; use NewMatrix to allocate one with a shape.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32 // len == Rows*Cols, row-major
+}
+
+// NewMatrix allocates a zeroed rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// Row returns a view (not a copy) of row i.
+func (m *Matrix) Row(i int) []float32 {
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float32 {
+	return m.Data[i*m.Cols+j]
+}
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float32) {
+	m.Data[i*m.Cols+j] = v
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero resets every element to 0.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// MatVec computes out = m · x for a vector x of length m.Cols, returning a
+// vector of length m.Rows.
+func (m *Matrix) MatVec(x []float32) []float32 {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("mathx: MatVec shape mismatch %d vs %d", len(x), m.Cols))
+	}
+	out := make([]float32, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = Dot(m.Row(i), x)
+	}
+	return out
+}
+
+// MatVecT computes out = mᵀ · x for a vector x of length m.Rows, returning a
+// vector of length m.Cols.
+func (m *Matrix) MatVecT(x []float32) []float32 {
+	if len(x) != m.Rows {
+		panic(fmt.Sprintf("mathx: MatVecT shape mismatch %d vs %d", len(x), m.Rows))
+	}
+	out := make([]float32, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		Axpy(x[i], m.Row(i), out)
+	}
+	return out
+}
+
+// MatMul returns a·b. Panics on a shape mismatch.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("mathx: MatMul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k := 0; k < a.Cols; k++ {
+			Axpy(arow[k], b.Row(k), orow)
+		}
+	}
+	return out
+}
+
+// Transpose returns mᵀ as a new matrix.
+func (m *Matrix) Transpose() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Set(j, i, m.At(i, j))
+		}
+	}
+	return out
+}
+
+// FillRandn fills m with normally distributed values scaled by std.
+func (m *Matrix) FillRandn(r *RNG, std float64) {
+	for i := range m.Data {
+		m.Data[i] = float32(r.NormFloat64() * std)
+	}
+}

@@ -1,0 +1,363 @@
+// Package ngram implements the semantic embedding model of Section III-B —
+// the reproduction's substitute for fastText. Like fastText, a string is
+// represented as the bag of its hashed character n-grams (3–6) plus word
+// tokens, each mapped to a learned vector, and the string embedding is their
+// mean. Training pulls the embeddings of entity labels and their synonyms
+// together (and pushes random labels apart) with the same triplet objective
+// the paper uses, so the model delivers fastText's one property EmbLookup
+// relies on: semantically equivalent mentions embed nearby.
+package ngram
+
+import (
+	"strings"
+
+	"emblookup/internal/mathx"
+	"emblookup/internal/strutil"
+)
+
+// Model is a hashed bag-of-subwords embedding model. Embed is safe for
+// concurrent use once training has finished.
+type Model struct {
+	Dim     int
+	Buckets int
+	MinN    int
+	MaxN    int
+	// WordWeight replicates the whole-word feature this many times in the
+	// bag. Character n-grams are shared across many strings (that is what
+	// makes the model robust to typos), so without extra weight the
+	// string-specific word feature is diluted ~30:1 and distinct aliases
+	// built from common subwords blur together.
+	WordWeight int
+	// MentionHalf, when set, adds a whole-mention feature carrying half of
+	// the embedding mass — but only for mentions seen during training.
+	// Shared subwords pull the embeddings of distinct mentions together
+	// (the typo-robustness mechanism); the mention feature gives
+	// contrastive training a dedicated slot to attach each *known* mention
+	// — e.g. a cross-lingual alias — to its entity, the role pre-training
+	// on real text plays for the original fastText. Unknown strings (typos,
+	// novel queries) fall back to the pure subword bag, so the feature
+	// never injects untrained noise.
+	MentionHalf bool
+	Table       *mathx.Matrix // Buckets × Dim
+
+	known map[int]struct{} // trained mention-feature buckets
+}
+
+// NewModel allocates a model with small random initial vectors.
+func NewModel(dim, buckets int, seed uint64) *Model {
+	m := &Model{Dim: dim, Buckets: buckets, MinN: 3, MaxN: 6, WordWeight: 2, MentionHalf: true,
+		Table: mathx.NewMatrix(buckets, dim)}
+	m.Table.FillRandn(mathx.NewRNG(seed), 0.1)
+	return m
+}
+
+// fnv1a hashes s into a bucket index.
+func (m *Model) fnv1a(s string) int {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return int(h % uint64(m.Buckets))
+}
+
+// Features returns the bucket indexes of every subword feature of s: padded
+// character n-grams of lengths MinN..MaxN plus whole word tokens.
+func (m *Model) Features(s string) []int {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if s == "" {
+		return nil
+	}
+	feats := m.subwordFeatures(s)
+	if m.MentionHalf {
+		mf := m.fnv1a("MENTION:" + s)
+		if _, ok := m.known[mf]; ok {
+			n := len(feats)
+			for i := 0; i < n; i++ {
+				feats = append(feats, mf)
+			}
+		}
+	}
+	return feats
+}
+
+// EmbedParts returns the two components of the semantic representation
+// separately: the pure subword-bag mean (always defined, robust to typos)
+// and the dedicated mention vector (the trained memorization slot, zero for
+// mentions never seen in training). Downstream models that consume the two
+// parts as separate inputs can learn to rely on the mention slot when it is
+// present and fall back to subwords when it is zero — which a blended mean
+// cannot offer.
+func (m *Model) EmbedParts(s string) (subword, mention []float32) {
+	norm := strings.ToLower(strings.TrimSpace(s))
+	mention = make([]float32, m.Dim)
+	if m.MentionHalf && norm != "" {
+		mf := m.fnv1a("MENTION:" + norm)
+		if _, ok := m.known[mf]; ok {
+			copy(mention, m.Table.Row(mf))
+		}
+	}
+	// Subword-only bag: temporarily compute without the mention half.
+	sub := make([]float32, m.Dim)
+	feats := m.subwordFeatures(norm)
+	if len(feats) == 0 {
+		return sub, mention
+	}
+	for _, f := range feats {
+		mathx.Axpy(1, m.Table.Row(f), sub)
+	}
+	mathx.Scale(1/float32(len(feats)), sub)
+	return sub, mention
+}
+
+// subwordFeatures is Features without the mention half (s must already be
+// normalized).
+func (m *Model) subwordFeatures(s string) []int {
+	if s == "" {
+		return nil
+	}
+	var feats []int
+	for _, tok := range strutil.Tokenize(s) {
+		padded := "<" + tok + ">"
+		r := []rune(padded)
+		for n := m.MinN; n <= m.MaxN; n++ {
+			for i := 0; i+n <= len(r); i++ {
+				feats = append(feats, m.fnv1a(string(r[i:i+n])))
+			}
+		}
+		w := m.WordWeight
+		if w < 1 {
+			w = 1
+		}
+		wf := m.fnv1a("WORD:" + tok)
+		for i := 0; i < w; i++ {
+			feats = append(feats, wf)
+		}
+	}
+	if len(feats) == 0 {
+		feats = append(feats, m.fnv1a(s))
+	}
+	return feats
+}
+
+// KnownMentionHashes returns the trained mention-feature buckets (for
+// serialization).
+func (m *Model) KnownMentionHashes() []int {
+	out := make([]int, 0, len(m.known))
+	for h := range m.known {
+		out = append(out, h)
+	}
+	return out
+}
+
+// SetKnownMentionHashes restores a serialized known-mention set.
+func (m *Model) SetKnownMentionHashes(hs []int) {
+	m.known = make(map[int]struct{}, len(hs))
+	for _, h := range hs {
+		m.known[h] = struct{}{}
+	}
+}
+
+// RegisterMention marks s as a known mention so its whole-mention feature
+// participates in the bag. Train registers every string it sees; callers
+// indexing additional mentions may register them explicitly before
+// training.
+func (m *Model) RegisterMention(s string) {
+	if !m.MentionHalf {
+		return
+	}
+	if m.known == nil {
+		m.known = make(map[int]struct{})
+	}
+	s = strings.ToLower(strings.TrimSpace(s))
+	m.known[m.fnv1a("MENTION:"+s)] = struct{}{}
+}
+
+// Embed returns the mean of the feature vectors of s — a Dim-length vector.
+// Unknown text still embeds (hashing never misses), which is exactly the
+// property that lets the downstream model process arbitrary queries.
+func (m *Model) Embed(s string) []float32 {
+	feats := m.Features(s)
+	out := make([]float32, m.Dim)
+	if len(feats) == 0 {
+		return out
+	}
+	for _, f := range feats {
+		mathx.Axpy(1, m.Table.Row(f), out)
+	}
+	mathx.Scale(1/float32(len(feats)), out)
+	return out
+}
+
+// TrainConfig controls synonym training.
+type TrainConfig struct {
+	Epochs int
+	LR     float32
+	Margin float32
+	// Negatives is how many random negatives each (label, synonym) pair is
+	// contrasted against per epoch. Retrieval needs the synonym to be
+	// closer to its label than to *every* other label, and one negative
+	// per epoch explores that space too slowly for surface-dissimilar
+	// synonyms.
+	Negatives int
+	Seed      uint64
+}
+
+// DefaultTrainConfig returns the settings used by the pipeline.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{Epochs: 5, LR: 0.05, Margin: 1.0, Negatives: 5, Seed: 17}
+}
+
+// Pair is one (label, synonym) training example.
+type Pair struct {
+	Label, Synonym string
+}
+
+// Train fits the table so that each pair embeds nearby while negatives
+// embed farther away. The objective is a contrastive hinge: the synonym is
+// always attracted to its label, and both are repelled (up to the margin)
+// from sampled negatives — including *hard* negatives, the closest of a
+// random sample of labels, without which surface-dissimilar synonyms stay
+// closer to some foreign label than to their own. Gradients are sparse:
+// only the buckets touched by an update move. Feature extraction is
+// memoized across epochs (the string set is fixed).
+func (m *Model) Train(pairs []Pair, negatives []string, cfg TrainConfig) {
+	if len(pairs) == 0 || len(negatives) == 0 {
+		return
+	}
+	rng := mathx.NewRNG(cfg.Seed)
+	// Every training string becomes a known mention (its dedicated feature
+	// joins the bag) before features are cached.
+	for _, p := range pairs {
+		m.RegisterMention(p.Label)
+		m.RegisterMention(p.Synonym)
+	}
+	for _, n := range negatives {
+		m.RegisterMention(n)
+	}
+	featCache := make(map[string][]int)
+	feats := func(s string) []int {
+		if f, ok := featCache[s]; ok {
+			return f
+		}
+		f := m.Features(s)
+		featCache[s] = f
+		return f
+	}
+	order := make([]int, len(pairs))
+	for i := range order {
+		order[i] = i
+	}
+	negs := cfg.Negatives
+	if negs < 1 {
+		negs = 1
+	}
+	const hardSample = 12
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.ShuffleInts(order)
+		for _, pi := range order {
+			p := pairs[pi]
+			fl, fs := feats(p.Label), feats(p.Synonym)
+			if len(fl) == 0 || len(fs) == 0 {
+				continue
+			}
+			// Attract synonym and label.
+			m.attract(fl, fs, cfg.LR)
+			// Repel from negatives: uniform ones plus the hardest of a
+			// random sample (the label currently nearest the synonym).
+			es := m.embedFeatures(fs)
+			for n := 0; n < negs; n++ {
+				var fn []int
+				if n == 0 {
+					fn = m.hardestNegative(es, p.Label, negatives, hardSample, feats, rng)
+				} else {
+					neg := negatives[rng.Intn(len(negatives))]
+					if neg == p.Label {
+						continue
+					}
+					fn = feats(neg)
+				}
+				if len(fn) == 0 {
+					continue
+				}
+				m.repel(fs, fn, cfg.Margin, cfg.LR)
+				m.repel(fl, fn, cfg.Margin, cfg.LR*0.5)
+			}
+		}
+	}
+}
+
+// hardestNegative returns the features of the closest label to es among a
+// random sample, excluding the true label.
+func (m *Model) hardestNegative(es []float32, ownLabel string, negatives []string, sample int, feats func(string) []int, rng *mathx.RNG) []int {
+	var best []int
+	bestD := float32(3.4e38)
+	for i := 0; i < sample; i++ {
+		neg := negatives[rng.Intn(len(negatives))]
+		if neg == ownLabel {
+			continue
+		}
+		fn := feats(neg)
+		if len(fn) == 0 {
+			continue
+		}
+		if d := mathx.SquaredL2(es, m.embedFeatures(fn)); d < bestD {
+			best, bestD = fn, d
+		}
+	}
+	return best
+}
+
+// embedFeatures is Embed over a precomputed feature list.
+func (m *Model) embedFeatures(feats []int) []float32 {
+	out := make([]float32, m.Dim)
+	if len(feats) == 0 {
+		return out
+	}
+	for _, f := range feats {
+		mathx.Axpy(1, m.Table.Row(f), out)
+	}
+	mathx.Scale(1/float32(len(feats)), out)
+	return out
+}
+
+// attract moves the two embeddings toward each other: loss = d(a,b)².
+func (m *Model) attract(fa, fb []int, lr float32) {
+	ea := m.embedFeatures(fa)
+	eb := m.embedFeatures(fb)
+	// dL/dea = 2(ea-eb); dL/deb = -2(ea-eb).
+	grad := make([]float32, m.Dim)
+	for i := range grad {
+		grad[i] = 2 * (ea[i] - eb[i])
+	}
+	m.step(fa, grad, lr)
+	mathx.Scale(-1, grad)
+	m.step(fb, grad, lr)
+}
+
+// repel pushes the two embeddings apart while their squared distance is
+// below the margin: loss = max(0, margin − d(a,b)²).
+func (m *Model) repel(fa, fn []int, margin, lr float32) {
+	ea := m.embedFeatures(fa)
+	en := m.embedFeatures(fn)
+	if mathx.SquaredL2(ea, en) >= margin {
+		return
+	}
+	// dL/dea = -2(ea-en); dL/den = 2(ea-en).
+	grad := make([]float32, m.Dim)
+	for i := range grad {
+		grad[i] = -2 * (ea[i] - en[i])
+	}
+	m.step(fa, grad, lr)
+	mathx.Scale(-1, grad)
+	m.step(fn, grad, lr)
+}
+
+// step applies -lr·grad/len(feats) to every feature row (the embedding is
+// the mean of its rows).
+func (m *Model) step(feats []int, grad []float32, lr float32) {
+	scale := -lr / float32(len(feats))
+	for _, f := range feats {
+		mathx.Axpy(scale, grad, m.Table.Row(f))
+	}
+}

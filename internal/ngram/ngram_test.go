@@ -1,0 +1,132 @@
+package ngram
+
+import (
+	"testing"
+
+	"emblookup/internal/mathx"
+)
+
+func TestFeaturesStable(t *testing.T) {
+	m := NewModel(16, 1024, 1)
+	a := m.Features("Germany")
+	b := m.Features("germany") // case-insensitive
+	if len(a) != len(b) {
+		t.Fatalf("feature counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("features not case-insensitive")
+		}
+	}
+	if len(m.Features("")) != 0 {
+		t.Fatal("empty string should have no features")
+	}
+}
+
+func TestFeaturesShareSubwords(t *testing.T) {
+	m := NewModel(16, 1<<16, 1)
+	set := func(feats []int) map[int]bool {
+		s := make(map[int]bool)
+		for _, f := range feats {
+			s[f] = true
+		}
+		return s
+	}
+	a := set(m.Features("germany"))
+	b := set(m.Features("germanic"))
+	c := set(m.Features("xqzzw"))
+	shared := func(x, y map[int]bool) int {
+		n := 0
+		for f := range x {
+			if y[f] {
+				n++
+			}
+		}
+		return n
+	}
+	if shared(a, b) <= shared(a, c) {
+		t.Fatal("related words should share more subword features")
+	}
+}
+
+func TestEmbedDimAndDeterminism(t *testing.T) {
+	m := NewModel(32, 2048, 5)
+	e1 := m.Embed("East Berlin")
+	e2 := m.Embed("East Berlin")
+	if len(e1) != 32 {
+		t.Fatalf("dim = %d", len(e1))
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatal("Embed not deterministic")
+		}
+	}
+}
+
+func TestEmbedEmptyString(t *testing.T) {
+	m := NewModel(8, 128, 2)
+	e := m.Embed("")
+	for _, v := range e {
+		if v != 0 {
+			t.Fatal("empty embed should be zero vector")
+		}
+	}
+}
+
+func TestTrainPullsSynonymsTogether(t *testing.T) {
+	m := NewModel(32, 1<<14, 7)
+	// Synthetic synonym structure: three entities, each with one alias
+	// that shares no characters with its label.
+	pairs := []Pair{
+		{"alphaville", "kronstad"},
+		{"betatown", "murdok"},
+		{"gammaport", "velizar"},
+	}
+	negatives := []string{"alphaville", "betatown", "gammaport", "deltaburg", "omegagrad"}
+
+	dist := func(a, b string) float32 {
+		return mathx.SquaredL2(m.Embed(a), m.Embed(b))
+	}
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 60
+	m.Train(pairs, negatives, cfg)
+
+	for _, p := range pairs {
+		dSyn := dist(p.Label, p.Synonym)
+		// The synonym must be closer to its label than the other labels are.
+		for _, q := range pairs {
+			if q == p {
+				continue
+			}
+			if dSyn >= dist(p.Label, q.Synonym) {
+				t.Fatalf("synonym %q not closest to %q after training", p.Synonym, p.Label)
+			}
+		}
+	}
+}
+
+func TestTrainNoopOnEmptyInput(t *testing.T) {
+	m := NewModel(8, 128, 3)
+	before := append([]float32(nil), m.Table.Data...)
+	m.Train(nil, nil, DefaultTrainConfig())
+	m.Train([]Pair{{"a", "b"}}, nil, DefaultTrainConfig())
+	for i := range before {
+		if m.Table.Data[i] != before[i] {
+			t.Fatal("training with empty input must not modify the table")
+		}
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	pairs := []Pair{{"germany", "deutschland"}, {"france", "lafrance"}}
+	negs := []string{"spain", "poland", "italy"}
+	m1 := NewModel(16, 4096, 9)
+	m2 := NewModel(16, 4096, 9)
+	m1.Train(pairs, negs, DefaultTrainConfig())
+	m2.Train(pairs, negs, DefaultTrainConfig())
+	for i := range m1.Table.Data {
+		if m1.Table.Data[i] != m2.Table.Data[i] {
+			t.Fatal("training not deterministic")
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package nn
+
+import "emblookup/internal/mathx"
+
+// Linear is a fully connected layer y = Wx + b over float32 vectors.
+type Linear struct {
+	In, Out int
+	Weight  *Param // Out × In
+	Bias    *Param // Out × 1
+}
+
+// NewLinear builds a linear layer with Kaiming initialization (suited to
+// the ReLU combiner of Section III-B).
+func NewLinear(r *mathx.RNG, in, out int) *Linear {
+	l := &Linear{In: in, Out: out, Weight: NewParam(out, in), Bias: NewParam(out, 1)}
+	l.Weight.InitKaiming(r, in)
+	return l
+}
+
+// Params returns the layer's learnable parameters.
+func (l *Linear) Params() []*Param { return []*Param{l.Weight, l.Bias} }
+
+// Apply is the inference forward pass (concurrent-safe).
+func (l *Linear) Apply(x []float32) []float32 {
+	y := l.Weight.W.MatVec(x)
+	for i := range y {
+		y[i] += l.Bias.W.Data[i]
+	}
+	return y
+}
+
+// Forward computes y and returns x as the backward cache.
+func (l *Linear) Forward(x []float32) ([]float32, []float32) {
+	return l.Apply(x), x
+}
+
+// Backward accumulates gradients and returns dL/dx.
+func (l *Linear) Backward(x, dy []float32) []float32 {
+	for o := 0; o < l.Out; o++ {
+		g := dy[o]
+		if g == 0 {
+			continue
+		}
+		l.Bias.Grad.Data[o] += g
+		mathx.Axpy(g, x, l.Weight.Grad.Row(o))
+	}
+	return l.Weight.W.MatVecT(dy)
+}
+
+// ReLUVec applies max(0,·) in place to a vector and returns the mask.
+func ReLUVec(v []float32) []bool {
+	mask := make([]bool, len(v))
+	for i, x := range v {
+		if x > 0 {
+			mask[i] = true
+		} else {
+			v[i] = 0
+		}
+	}
+	return mask
+}
+
+// ReLUVecBackward masks dy in place.
+func ReLUVecBackward(dy []float32, mask []bool) {
+	for i := range dy {
+		if !mask[i] {
+			dy[i] = 0
+		}
+	}
+}
+
+// MLP is the paper's combiner: two linear layers with a ReLU between them,
+// aggregating the concatenated CNN and fastText embeddings into the final
+// 64-dimensional embedding.
+type MLP struct {
+	L1, L2 *Linear
+}
+
+// NewMLP builds a two-layer perceptron in→hidden→out.
+func NewMLP(r *mathx.RNG, in, hidden, out int) *MLP {
+	return &MLP{L1: NewLinear(r, in, hidden), L2: NewLinear(r, hidden, out)}
+}
+
+// Params returns all learnable parameters.
+func (m *MLP) Params() []*Param {
+	return append(m.L1.Params(), m.L2.Params()...)
+}
+
+// MLPCache holds forward activations for Backward.
+type MLPCache struct {
+	x, h []float32
+	mask []bool
+}
+
+// Apply is the inference forward pass (concurrent-safe).
+func (m *MLP) Apply(x []float32) []float32 {
+	h := m.L1.Apply(x)
+	for i, v := range h {
+		if v < 0 {
+			h[i] = 0
+		}
+	}
+	return m.L2.Apply(h)
+}
+
+// Forward computes the output and a cache for Backward.
+func (m *MLP) Forward(x []float32) ([]float32, *MLPCache) {
+	h, _ := m.L1.Forward(x)
+	mask := ReLUVec(h)
+	y := m.L2.Apply(h)
+	return y, &MLPCache{x: x, h: h, mask: mask}
+}
+
+// Backward accumulates gradients and returns dL/dx.
+func (m *MLP) Backward(cache *MLPCache, dy []float32) []float32 {
+	dh := m.L2.Backward(cache.h, dy)
+	ReLUVecBackward(dh, cache.mask)
+	return m.L1.Backward(cache.x, dh)
+}

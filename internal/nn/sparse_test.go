@@ -1,0 +1,184 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"emblookup/internal/mathx"
+)
+
+// onehotFromIdx builds the dense matrix equivalent of a sparse index
+// sequence.
+func onehotFromIdx(idx []int, alphabet int) *mathx.Matrix {
+	m := mathx.NewMatrix(alphabet, len(idx))
+	for t, ch := range idx {
+		if ch >= 0 {
+			m.Set(ch, t, 1)
+		}
+	}
+	return m
+}
+
+func TestSparseOneHotMatchesDense(t *testing.T) {
+	r := mathx.NewRNG(31)
+	c := NewConv1D(r, 6, 4, 3)
+	idx := []int{2, 0, 5, -1, 3, 1}
+	dense := c.Apply(onehotFromIdx(idx, 6))
+	sparse := c.ApplySparseOneHot(idx)
+	if dense.Rows != sparse.Rows || dense.Cols != sparse.Cols {
+		t.Fatal("shape mismatch")
+	}
+	for i := range dense.Data {
+		if dense.Data[i] != sparse.Data[i] {
+			t.Fatalf("sparse/dense diverge at %d: %v vs %v", i, sparse.Data[i], dense.Data[i])
+		}
+	}
+}
+
+func TestCharCNNIdxMatchesDense(t *testing.T) {
+	r := mathx.NewRNG(32)
+	m := NewCharCNN(r, 6, 4, 3, 3)
+	idx := []int{1, 4, 4, 0, -1, 2, 3}
+	dense := m.Apply(onehotFromIdx(idx, 6))
+	sparse := m.ApplyIdx(idx)
+	for i := range dense {
+		// Accumulation order differs between the two paths, so allow
+		// float32 rounding slack.
+		if math.Abs(float64(dense[i]-sparse[i])) > 1e-5 {
+			t.Fatalf("ApplyIdx diverges from dense Apply: %v vs %v", sparse, dense)
+		}
+	}
+	// Training path agrees with inference path.
+	fwd, _ := m.ForwardIdx(idx)
+	for i := range fwd {
+		if fwd[i] != sparse[i] {
+			t.Fatal("ForwardIdx diverges from ApplyIdx")
+		}
+	}
+}
+
+func TestSparseBackwardGradCheck(t *testing.T) {
+	r := mathx.NewRNG(33)
+	m := NewCharCNN(r, 5, 3, 3, 2)
+	idx := []int{0, 3, 2, 4, 1}
+	loss := func() float32 {
+		y := m.ApplyIdx(idx)
+		var s float32
+		for _, v := range y {
+			s += v * v
+		}
+		return s
+	}
+	y, cache := m.ForwardIdx(idx)
+	dy := make([]float32, len(y))
+	for i, v := range y {
+		dy[i] = 2 * v
+	}
+	m.BackwardIdx(cache, dy)
+	for _, p := range m.Params() {
+		num := numericalGrad(p, loss)
+		if e := maxRelErr(p.Grad.Data, num); e > 0.05 {
+			t.Fatalf("sparse grad mismatch: %v", e)
+		}
+	}
+}
+
+func TestReplicaSharesWeightsOwnsGrads(t *testing.T) {
+	r := mathx.NewRNG(34)
+	master := NewCharCNN(r, 4, 3, 3, 2)
+	rep := master.Replica()
+
+	// Same forward output (shared weights).
+	idx := []int{1, 2, 0, 3}
+	a := master.ApplyIdx(idx)
+	b := rep.ApplyIdx(idx)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("replica forward differs")
+		}
+	}
+
+	// Backward on the replica must not touch master grads.
+	y, cache := rep.ForwardIdx(idx)
+	dy := make([]float32, len(y))
+	for i := range dy {
+		dy[i] = 1
+	}
+	rep.BackwardIdx(cache, dy)
+	for _, p := range master.Params() {
+		for _, g := range p.Grad.Data {
+			if g != 0 {
+				t.Fatal("replica backward leaked into master grads")
+			}
+		}
+	}
+	// MergeGrads moves them over and clears the replica.
+	MergeGrads(master.Params(), rep.Params())
+	total := float32(0)
+	for _, p := range master.Params() {
+		for _, g := range p.Grad.Data {
+			total += float32(math.Abs(float64(g)))
+		}
+	}
+	if total == 0 {
+		t.Fatal("MergeGrads moved nothing")
+	}
+	for _, p := range rep.Params() {
+		for _, g := range p.Grad.Data {
+			if g != 0 {
+				t.Fatal("replica grads not cleared after merge")
+			}
+		}
+	}
+}
+
+func TestMergeGradsEquivalentToSequential(t *testing.T) {
+	// Two samples processed on two replicas must produce the same merged
+	// gradient as both processed on the master.
+	r1 := mathx.NewRNG(35)
+	master := NewMLP(r1, 3, 5, 2)
+	repA := master.Replica()
+	repB := master.Replica()
+
+	xA := []float32{1, -0.5, 2}
+	xB := []float32{-1, 0.25, 0.5}
+	dy := []float32{1, -1}
+
+	run := func(m *MLP, x []float32) {
+		_, cache := m.Forward(x)
+		m.Backward(cache, dy)
+	}
+	run(repA, xA)
+	run(repB, xB)
+	MergeGrads(master.Params(), repA.Params())
+	MergeGrads(master.Params(), repB.Params())
+	merged := make([][]float32, len(master.Params()))
+	for i, p := range master.Params() {
+		merged[i] = append([]float32(nil), p.Grad.Data...)
+		p.ZeroGrad()
+	}
+
+	run(master, xA)
+	run(master, xB)
+	for i, p := range master.Params() {
+		for j := range p.Grad.Data {
+			if d := p.Grad.Data[j] - merged[i][j]; d > 1e-6 || d < -1e-6 {
+				t.Fatalf("merged grads differ from sequential at param %d[%d]", i, j)
+			}
+		}
+	}
+}
+
+func TestAdamWeightDecay(t *testing.T) {
+	p := NewParam(1, 1)
+	p.W.Data[0] = 10
+	opt := NewAdam(0.1, []*Param{p})
+	opt.WeightDecay = 0.1
+	// Zero task gradient: only decay should shrink the weight.
+	for i := 0; i < 50; i++ {
+		opt.Step(1)
+	}
+	if p.W.Data[0] >= 10 {
+		t.Fatalf("weight decay had no effect: %v", p.W.Data[0])
+	}
+}

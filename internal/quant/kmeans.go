@@ -1,0 +1,133 @@
+// Package quant implements the embedding-compression substrate of Section
+// III-D: k-means clustering, product quantization with asymmetric-distance
+// (ADC) lookup tables, and PCA (the alternate compression scheme of the
+// Figure 5 ablation).
+package quant
+
+import (
+	"emblookup/internal/mathx"
+)
+
+// KMeansConfig controls Lloyd's algorithm.
+type KMeansConfig struct {
+	K        int
+	MaxIters int
+	Seed     uint64
+}
+
+// KMeans runs Lloyd's algorithm with k-means++ seeding on the rows of data
+// and returns the K×D centroid matrix together with each row's assignment.
+// If data has fewer rows than K, surplus centroids repeat existing rows.
+func KMeans(data *mathx.Matrix, cfg KMeansConfig) (*mathx.Matrix, []int) {
+	n, d := data.Rows, data.Cols
+	k := cfg.K
+	if k <= 0 {
+		k = 1
+	}
+	iters := cfg.MaxIters
+	if iters <= 0 {
+		iters = 15
+	}
+	rng := mathx.NewRNG(cfg.Seed)
+	centroids := mathx.NewMatrix(k, d)
+
+	// k-means++ seeding: first centroid uniform, then proportional to the
+	// squared distance to the closest chosen centroid.
+	if n > 0 {
+		copy(centroids.Row(0), data.Row(rng.Intn(n)))
+		dist := make([]float64, n)
+		for i := range dist {
+			dist[i] = float64(mathx.SquaredL2(data.Row(i), centroids.Row(0)))
+		}
+		for c := 1; c < k; c++ {
+			var total float64
+			for _, v := range dist {
+				total += v
+			}
+			var chosen int
+			if total <= 0 {
+				chosen = rng.Intn(n)
+			} else {
+				target := rng.Float64() * total
+				acc := 0.0
+				chosen = n - 1
+				for i, v := range dist {
+					acc += v
+					if acc >= target {
+						chosen = i
+						break
+					}
+				}
+			}
+			copy(centroids.Row(c), data.Row(chosen))
+			for i := range dist {
+				if nd := float64(mathx.SquaredL2(data.Row(i), centroids.Row(c))); nd < dist[i] {
+					dist[i] = nd
+				}
+			}
+		}
+	}
+
+	assign := make([]int, n)
+	counts := make([]int, k)
+	for iter := 0; iter < iters; iter++ {
+		changed := false
+		for i := 0; i < n; i++ {
+			best, bestD := 0, float32(0)
+			for c := 0; c < k; c++ {
+				d := mathx.SquaredL2(data.Row(i), centroids.Row(c))
+				if c == 0 || d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Recompute centroids.
+		centroids.Zero()
+		for c := range counts {
+			counts[c] = 0
+		}
+		for i := 0; i < n; i++ {
+			mathx.Axpy(1, data.Row(i), centroids.Row(assign[i]))
+			counts[assign[i]]++
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster from a random point.
+				if n > 0 {
+					copy(centroids.Row(c), data.Row(rng.Intn(n)))
+				}
+				continue
+			}
+			mathx.Scale(1/float32(counts[c]), centroids.Row(c))
+		}
+	}
+	// Final assignment against the last centroids.
+	for i := 0; i < n; i++ {
+		best, bestD := 0, float32(0)
+		for c := 0; c < k; c++ {
+			d := mathx.SquaredL2(data.Row(i), centroids.Row(c))
+			if c == 0 || d < bestD {
+				best, bestD = c, d
+			}
+		}
+		assign[i] = best
+	}
+	return centroids, assign
+}
+
+// Inertia returns the sum of squared distances of each row to its assigned
+// centroid — the k-means objective, exposed for testing convergence.
+func Inertia(data, centroids *mathx.Matrix, assign []int) float64 {
+	var s float64
+	for i := 0; i < data.Rows; i++ {
+		s += float64(mathx.SquaredL2(data.Row(i), centroids.Row(assign[i])))
+	}
+	return s
+}

@@ -1,0 +1,112 @@
+package quant
+
+import (
+	"fmt"
+
+	"emblookup/internal/mathx"
+)
+
+// ProductQuantizer compresses D-dimensional vectors into M bytes, exactly
+// as Section III-D describes: the vector is split into M groups of D/M
+// dimensions, each group is k-means-clustered into Ks (≤256) centroids, and
+// a vector is stored as the M centroid ids of its groups. With the paper's
+// defaults (D=64, M=8, Ks=256) each embedding costs 8 bytes instead of 256.
+type ProductQuantizer struct {
+	D, M, Ks, Dsub int
+	// Codebooks[m] is a Ks×Dsub matrix of centroids for group m.
+	Codebooks []*mathx.Matrix
+}
+
+// PQConfig configures training.
+type PQConfig struct {
+	M     int // number of sub-quantizers (= bytes per code)
+	Ks    int // centroids per sub-quantizer, at most 256
+	Iters int
+	Seed  uint64
+}
+
+// DefaultPQConfig returns the paper's 8-byte configuration.
+func DefaultPQConfig() PQConfig { return PQConfig{M: 8, Ks: 256, Iters: 15, Seed: 31} }
+
+// TrainPQ learns the codebooks from the rows of data (N×D). D must be
+// divisible by cfg.M.
+func TrainPQ(data *mathx.Matrix, cfg PQConfig) (*ProductQuantizer, error) {
+	if cfg.M <= 0 || cfg.Ks <= 0 || cfg.Ks > 256 {
+		return nil, fmt.Errorf("quant: invalid PQ config M=%d Ks=%d", cfg.M, cfg.Ks)
+	}
+	if data.Cols%cfg.M != 0 {
+		return nil, fmt.Errorf("quant: dimension %d not divisible by M=%d", data.Cols, cfg.M)
+	}
+	pq := &ProductQuantizer{D: data.Cols, M: cfg.M, Ks: cfg.Ks, Dsub: data.Cols / cfg.M}
+	for m := 0; m < cfg.M; m++ {
+		sub := mathx.NewMatrix(data.Rows, pq.Dsub)
+		for i := 0; i < data.Rows; i++ {
+			copy(sub.Row(i), data.Row(i)[m*pq.Dsub:(m+1)*pq.Dsub])
+		}
+		cents, _ := KMeans(sub, KMeansConfig{K: cfg.Ks, MaxIters: cfg.Iters, Seed: cfg.Seed + uint64(m)})
+		pq.Codebooks = append(pq.Codebooks, cents)
+	}
+	return pq, nil
+}
+
+// Encode quantizes vec into its M-byte code.
+func (pq *ProductQuantizer) Encode(vec []float32) []byte {
+	code := make([]byte, pq.M)
+	pq.EncodeInto(vec, code)
+	return code
+}
+
+// EncodeInto quantizes vec into code, which must have length M.
+func (pq *ProductQuantizer) EncodeInto(vec []float32, code []byte) {
+	for m := 0; m < pq.M; m++ {
+		sub := vec[m*pq.Dsub : (m+1)*pq.Dsub]
+		cb := pq.Codebooks[m]
+		best, bestD := 0, float32(0)
+		for c := 0; c < cb.Rows; c++ {
+			d := mathx.SquaredL2(sub, cb.Row(c))
+			if c == 0 || d < bestD {
+				best, bestD = c, d
+			}
+		}
+		code[m] = byte(best)
+	}
+}
+
+// Decode reconstructs the approximate vector for a code.
+func (pq *ProductQuantizer) Decode(code []byte) []float32 {
+	out := make([]float32, pq.D)
+	for m := 0; m < pq.M; m++ {
+		copy(out[m*pq.Dsub:(m+1)*pq.Dsub], pq.Codebooks[m].Row(int(code[m])))
+	}
+	return out
+}
+
+// ADCTable precomputes, for a query, the squared distance from each query
+// sub-vector to every centroid of every sub-quantizer. With the table, the
+// distance to any stored code is M table lookups — the asymmetric distance
+// computation that makes PQ search fast.
+func (pq *ProductQuantizer) ADCTable(query []float32) []float32 {
+	table := make([]float32, pq.M*pq.Ks)
+	for m := 0; m < pq.M; m++ {
+		sub := query[m*pq.Dsub : (m+1)*pq.Dsub]
+		cb := pq.Codebooks[m]
+		base := m * pq.Ks
+		for c := 0; c < cb.Rows; c++ {
+			table[base+c] = mathx.SquaredL2(sub, cb.Row(c))
+		}
+	}
+	return table
+}
+
+// ADCDistance returns the approximate squared distance between the query
+// that produced table and the stored code.
+func (pq *ProductQuantizer) ADCDistance(table []float32, code []byte) float32 {
+	var s float32
+	for m := 0; m < pq.M; m++ {
+		s += table[m*pq.Ks+int(code[m])]
+	}
+	return s
+}
+
+// BytesPerCode returns the storage cost per vector (= M).
+func (pq *ProductQuantizer) BytesPerCode() int { return pq.M }

@@ -1,0 +1,165 @@
+// Package server exposes a trained EmbLookup model over HTTP — the
+// deployment shape the paper positions EmbLookup for: a transparent,
+// local, rate-limit-free replacement for remote lookup endpoints.
+//
+//	GET /lookup?q=<query>&k=<n>   → JSON candidate list
+//	GET /bulk  (POST body: one query per line) → NDJSON results
+//	GET /stats                    → index and graph statistics
+//	GET /healthz                  → 200 ok
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"emblookup/internal/core"
+	"emblookup/internal/kg"
+)
+
+// Server routes lookup requests to a model. Create with New and mount via
+// Handler.
+type Server struct {
+	graph *kg.Graph
+	model *core.EmbLookup
+	// MaxK bounds the per-request candidate budget.
+	MaxK int
+}
+
+// New builds a server over a trained model.
+func New(g *kg.Graph, model *core.EmbLookup) *Server {
+	return &Server{graph: g, model: model, MaxK: 1000}
+}
+
+// Handler returns the HTTP handler with all routes mounted.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /lookup", s.handleLookup)
+	mux.HandleFunc("POST /bulk", s.handleBulk)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// Hit is one JSON result row.
+type Hit struct {
+	ID    int32    `json:"id"`
+	Label string   `json:"label"`
+	Score float64  `json:"score"`
+	Types []string `json:"types,omitempty"`
+}
+
+// LookupResponse is the /lookup reply.
+type LookupResponse struct {
+	Query   string `json:"query"`
+	TookUs  int64  `json:"tookUs"`
+	Results []Hit  `json:"results"`
+}
+
+func (s *Server) parseK(r *http.Request) (int, error) {
+	k := 10
+	if ks := r.URL.Query().Get("k"); ks != "" {
+		v, err := strconv.Atoi(ks)
+		if err != nil || v <= 0 || v > s.MaxK {
+			return 0, fmt.Errorf("\"k\" must be an integer in 1..%d", s.MaxK)
+		}
+		k = v
+	}
+	return k, nil
+}
+
+func (s *Server) hits(q string, k int) []Hit {
+	res := s.model.Lookup(q, k)
+	hits := make([]Hit, len(res))
+	for i, c := range res {
+		e := s.graph.Entity(c.ID)
+		h := Hit{ID: int32(c.ID), Label: e.Label, Score: c.Score}
+		for _, t := range e.Types {
+			h.Types = append(h.Types, s.graph.TypeName(t))
+		}
+		hits[i] = h
+	}
+	return hits
+}
+
+func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		http.Error(w, `missing "q" parameter`, http.StatusBadRequest)
+		return
+	}
+	k, err := s.parseK(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	start := time.Now()
+	hits := s.hits(q, k)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(LookupResponse{
+		Query:   q,
+		TookUs:  time.Since(start).Microseconds(),
+		Results: hits,
+	})
+}
+
+// handleBulk reads one query per line from the body and streams one JSON
+// object per line back — the bulk mode the paper's applications need.
+func (s *Server) handleBulk(w http.ResponseWriter, r *http.Request) {
+	k, err := s.parseK(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var queries []string
+	sc := bufio.NewScanner(r.Body)
+	for sc.Scan() {
+		if q := sc.Text(); q != "" {
+			queries = append(queries, q)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	start := time.Now()
+	results := s.model.BulkLookup(queries, k, 0)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	for i, q := range queries {
+		hits := make([]Hit, len(results[i]))
+		for j, c := range results[i] {
+			hits[j] = Hit{ID: int32(c.ID), Label: s.graph.Label(c.ID), Score: c.Score}
+		}
+		enc.Encode(LookupResponse{Query: q, Results: hits})
+	}
+	_ = start
+}
+
+// StatsResponse is the /stats reply.
+type StatsResponse struct {
+	Graph      string `json:"graph"`
+	Entities   int    `json:"entities"`
+	IndexRows  int    `json:"indexRows"`
+	IndexBytes int    `json:"indexBytes"`
+	Dim        int    `json:"dim"`
+	Compressed bool   `json:"compressed"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	cfg := s.model.Config()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(StatsResponse{
+		Graph:      s.graph.Name,
+		Entities:   len(s.graph.Entities),
+		IndexRows:  s.model.Index().Len(),
+		IndexBytes: s.model.Index().SizeBytes(),
+		Dim:        cfg.Dim,
+		Compressed: cfg.Compress,
+	})
+}

@@ -1,0 +1,157 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"emblookup/internal/core"
+	"emblookup/internal/kg"
+)
+
+var (
+	once sync.Once
+	tGr  *kg.Graph
+	tSrv *Server
+	tErr error
+)
+
+func testServer(t *testing.T) (*kg.Graph, *Server) {
+	t.Helper()
+	once.Do(func() {
+		g, _ := kg.Generate(kg.DefaultGeneratorConfig(kg.WikidataProfile, 200))
+		cfg := core.FastConfig()
+		cfg.Epochs = 2
+		cfg.TripletsPerEntity = 8
+		m, err := core.Train(g, cfg)
+		if err != nil {
+			tErr = err
+			return
+		}
+		tGr, tSrv = g, New(g, m)
+	})
+	if tErr != nil {
+		t.Fatal(tErr)
+	}
+	return tGr, tSrv
+}
+
+func TestLookupEndpoint(t *testing.T) {
+	g, s := testServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	label := g.Entities[0].Label
+	resp, err := ts.Client().Get(ts.URL + "/lookup?q=" + strings.ReplaceAll(label, " ", "+") + "&k=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var lr LookupResponse
+	if err := json.NewDecoder(resp.Body).Decode(&lr); err != nil {
+		t.Fatal(err)
+	}
+	if len(lr.Results) == 0 || len(lr.Results) > 3 {
+		t.Fatalf("results = %+v", lr.Results)
+	}
+	if lr.Results[0].Label != label {
+		t.Fatalf("self not first: %+v", lr.Results[0])
+	}
+}
+
+func TestLookupValidation(t *testing.T) {
+	_, s := testServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, url := range []string{"/lookup", "/lookup?q=x&k=0", "/lookup?q=x&k=99999", "/lookup?q=x&k=abc"} {
+		resp, err := ts.Client().Get(ts.URL + url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 400 {
+			t.Errorf("%s: status %d, want 400", url, resp.StatusCode)
+		}
+	}
+}
+
+func TestBulkEndpoint(t *testing.T) {
+	g, s := testServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := g.Entities[0].Label + "\n" + g.Entities[1].Label + "\n"
+	resp, err := ts.Client().Post(ts.URL+"/bulk?k=2", "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	dec := json.NewDecoder(resp.Body)
+	var lines []LookupResponse
+	for dec.More() {
+		var lr LookupResponse
+		if err := dec.Decode(&lr); err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, lr)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("got %d NDJSON lines", len(lines))
+	}
+	if lines[0].Query != g.Entities[0].Label {
+		t.Fatal("bulk result order broken")
+	}
+}
+
+func TestStatsAndHealth(t *testing.T) {
+	g, s := testServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Entities != len(g.Entities) || st.IndexRows == 0 || st.Dim != 64 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	h, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Body.Close()
+	if h.StatusCode != 200 {
+		t.Fatalf("healthz status %d", h.StatusCode)
+	}
+}
+
+func TestMethodRouting(t *testing.T) {
+	_, s := testServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// GET on /bulk must 405 (it is POST-only).
+	resp, err := ts.Client().Get(ts.URL + "/bulk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 405 {
+		t.Fatalf("GET /bulk status %d, want 405", resp.StatusCode)
+	}
+}

@@ -1,0 +1,157 @@
+package strutil
+
+import (
+	"sort"
+	"strings"
+)
+
+// Ratio is the FuzzyWuzzy "simple ratio": normalized Levenshtein similarity
+// scaled to [0,100].
+func Ratio(a, b string) int {
+	return int(Similarity(strings.ToLower(a), strings.ToLower(b))*100 + 0.5)
+}
+
+// PartialRatio compares the shorter string against every equal-length
+// substring window of the longer string and returns the best Ratio. This is
+// FuzzyWuzzy's fuzz.partial_ratio.
+func PartialRatio(a, b string) int {
+	sa, sb := []rune(strings.ToLower(a)), []rune(strings.ToLower(b))
+	if len(sa) > len(sb) {
+		sa, sb = sb, sa
+	}
+	if len(sa) == 0 {
+		if len(sb) == 0 {
+			return 100
+		}
+		return 0
+	}
+	best := 0
+	for i := 0; i+len(sa) <= len(sb); i++ {
+		window := string(sb[i : i+len(sa)])
+		if r := Ratio(string(sa), window); r > best {
+			best = r
+			if best == 100 {
+				break
+			}
+		}
+	}
+	return best
+}
+
+// TokenSortRatio tokenizes, sorts, and rejoins both strings before applying
+// Ratio, making it robust to the "swapping the tokens" noise class used in
+// the paper's error injection.
+func TokenSortRatio(a, b string) int {
+	return Ratio(sortTokens(a), sortTokens(b))
+}
+
+// TokenSetRatio compares the token-set intersection and differences of a and
+// b, following FuzzyWuzzy's fuzz.token_set_ratio.
+func TokenSetRatio(a, b string) int {
+	ta := tokenSet(a)
+	tb := tokenSet(b)
+	var inter, diffA, diffB []string
+	for t := range ta {
+		if tb[t] {
+			inter = append(inter, t)
+		} else {
+			diffA = append(diffA, t)
+		}
+	}
+	for t := range tb {
+		if !ta[t] {
+			diffB = append(diffB, t)
+		}
+	}
+	sort.Strings(inter)
+	sort.Strings(diffA)
+	sort.Strings(diffB)
+	s0 := strings.Join(inter, " ")
+	s1 := strings.TrimSpace(s0 + " " + strings.Join(diffA, " "))
+	s2 := strings.TrimSpace(s0 + " " + strings.Join(diffB, " "))
+	best := Ratio(s0, s1)
+	if r := Ratio(s0, s2); r > best {
+		best = r
+	}
+	if r := Ratio(s1, s2); r > best {
+		best = r
+	}
+	return best
+}
+
+// WRatio is FuzzyWuzzy's weighted ratio: a blend of the plain, partial, and
+// token-based ratios. The FuzzyWuzzy baseline service scores candidates with
+// WRatio.
+func WRatio(a, b string) int {
+	base := Ratio(a, b)
+	if r := TokenSortRatio(a, b); r > base {
+		base = r
+	}
+	if r := int(float64(TokenSetRatio(a, b)) * 0.95); r > base {
+		base = r
+	}
+	la, lb := len(a), len(b)
+	longer, shorter := la, lb
+	if lb > la {
+		longer, shorter = lb, la
+	}
+	if shorter > 0 && float64(longer)/float64(shorter) > 1.5 {
+		if r := int(float64(PartialRatio(a, b)) * 0.9); r > base {
+			base = r
+		}
+	}
+	return base
+}
+
+// Tokenize splits s into lowercase word tokens on any non-letter/digit rune.
+func Tokenize(s string) []string {
+	s = strings.ToLower(s)
+	return strings.FieldsFunc(s, func(r rune) bool {
+		return !isWordRune(r)
+	})
+}
+
+func isWordRune(r rune) bool {
+	return r == '\'' || r == '-' ||
+		('a' <= r && r <= 'z') || ('A' <= r && r <= 'Z') || ('0' <= r && r <= '9') ||
+		r > 127 // keep non-ASCII letters together
+}
+
+func sortTokens(s string) string {
+	toks := Tokenize(s)
+	sort.Strings(toks)
+	return strings.Join(toks, " ")
+}
+
+func tokenSet(s string) map[string]bool {
+	set := make(map[string]bool)
+	for _, t := range Tokenize(s) {
+		set[t] = true
+	}
+	return set
+}
+
+// Abbreviate returns the initialism of s: the first letter of each token,
+// upper-cased ("European Union" -> "EU"). Single-token strings return their
+// first three letters upper-cased, mirroring common abbreviation styles in
+// knowledge-graph aliases.
+func Abbreviate(s string) string {
+	toks := Tokenize(s)
+	if len(toks) == 0 {
+		return ""
+	}
+	if len(toks) == 1 {
+		r := []rune(toks[0])
+		n := 3
+		if len(r) < n {
+			n = len(r)
+		}
+		return strings.ToUpper(string(r[:n]))
+	}
+	var b strings.Builder
+	for _, t := range toks {
+		r := []rune(t)
+		b.WriteRune(r[0])
+	}
+	return strings.ToUpper(b.String())
+}

@@ -1,0 +1,114 @@
+package systems
+
+import (
+	"time"
+
+	"emblookup/internal/kg"
+	"emblookup/internal/lookup"
+	"emblookup/internal/tabular"
+	"emblookup/internal/tasks"
+)
+
+type tabularDataset = tabular.Dataset
+
+// CascadeService tries each stage in order and returns the first non-empty
+// candidate set — the multi-service lookup pattern JenTab (and many SemTab
+// submissions) use.
+type CascadeService struct {
+	ServiceName string
+	Stages      []lookup.Service
+}
+
+// Name implements lookup.Service.
+func (c *CascadeService) Name() string { return c.ServiceName }
+
+// Lookup tries each stage until one produces candidates.
+func (c *CascadeService) Lookup(q string, k int) []lookup.Candidate {
+	for _, s := range c.Stages {
+		if res := s.Lookup(q, k); len(res) > 0 {
+			return res
+		}
+	}
+	return nil
+}
+
+// VirtualElapsed sums the virtual time of any simulated remote stages.
+func (c *CascadeService) VirtualElapsed() time.Duration {
+	var total time.Duration
+	for _, s := range c.Stages {
+		if vc, ok := s.(lookup.VirtualClock); ok {
+			total += vc.VirtualElapsed()
+		}
+	}
+	return total
+}
+
+// ResetVirtual resets all simulated remote stages.
+func (c *CascadeService) ResetVirtual() {
+	for _, s := range c.Stages {
+		if vc, ok := s.(lookup.VirtualClock); ok {
+			vc.ResetVirtual()
+		}
+	}
+}
+
+// DoSeR is the entity-disambiguation system: candidate generation through a
+// lookup service, then collective PageRank-style disambiguation.
+type DoSeR struct {
+	graph    *kg.Graph
+	Original lookup.Service
+	Config   tasks.EAConfig
+}
+
+// Name returns the system name.
+func (d *DoSeR) Name() string { return "DoSeR" }
+
+// Run disambiguates every row of every table in ds: the entity cells of a
+// row form one mention list (they are contextually related, which is what
+// collective disambiguation exploits).
+func (d *DoSeR) Run(ds *tabular.Dataset, svc lookup.Service, parallelism int) *tasks.EAResult {
+	agg := &tasks.EAResult{}
+	cfg := d.Config
+	cfg.Parallelism = parallelism
+	for _, tb := range ds.Tables {
+		for _, row := range tb.Rows {
+			var mentions []string
+			var truths []kg.EntityID
+			for _, cell := range row {
+				if cell.IsEntity() {
+					mentions = append(mentions, cell.Text)
+					truths = append(truths, cell.Truth)
+				}
+			}
+			if len(mentions) == 0 {
+				continue
+			}
+			r := tasks.Disambiguate(d.graph, svc, mentions, truths, cfg)
+			agg.Confusion.Add(r.Confusion)
+			agg.LookupTime += r.LookupTime
+			agg.LookupCalls += r.LookupCalls
+			agg.Assignments = append(agg.Assignments, r.Assignments...)
+		}
+	}
+	return agg
+}
+
+// Katara is the data-repair system: mask-aware subject lookup plus
+// relation-path imputation.
+type Katara struct {
+	graph    *kg.Graph
+	Original lookup.Service
+	Config   tasks.DRConfig
+}
+
+// Name returns the system name.
+func (k *Katara) Name() string { return "Katara" }
+
+// Run masks fraction of ds's cells and repairs them using svc for the
+// subject lookups.
+func (k *Katara) Run(ds *tabular.Dataset, svc lookup.Service, fraction float64, seed uint64, parallelism int) *tasks.DRResult {
+	masked, cells := tasks.MaskCells(ds, fraction, seed)
+	cfg := k.Config
+	cfg.Parallelism = parallelism
+	return tasks.Repair(masked, cells, svc, cfg)
+}

@@ -1,0 +1,213 @@
+// Package systems re-implements the five downstream applications whose
+// lookup component the paper replaces with EmbLookup (Section IV): the
+// SemTab-2020 annotation systems bbw, MantisTable, and JenTab (CEA + CTA),
+// the DoSeR entity disambiguator, and the Katara data-repair system. Each
+// system couples (a) a default "original" lookup service matching the
+// published system's design — bbw queries a SearX-style metasearch
+// endpoint, MantisTable an ElasticSearch index, JenTab a cascade of the
+// Wikidata API and local fuzzy matching — with (b) its own candidate
+// post-processing. Swapping the lookup service while keeping (b) fixed is
+// exactly the paper's experiment.
+package systems
+
+import (
+	"strings"
+
+	"emblookup/internal/baselines"
+	"emblookup/internal/kg"
+	"emblookup/internal/lookup"
+	"emblookup/internal/remote"
+	"emblookup/internal/strutil"
+	"emblookup/internal/tasks"
+)
+
+// System bundles a named annotation system: its original lookup service and
+// its CEA ranker.
+type System struct {
+	// SystemName is the published system this reproduces.
+	SystemName string
+	// Original is the lookup service the published system used.
+	Original lookup.Service
+	// Ranker is the system's candidate post-processing for CEA.
+	Ranker tasks.Ranker
+	// K is the candidate budget the system requests per lookup.
+	K int
+}
+
+// Name returns the system's name.
+func (s *System) Name() string { return s.SystemName }
+
+// RunCEA annotates ds's cells using svc for lookup and the system's own
+// post-processing.
+func (s *System) RunCEA(ds *TabularDataset, svc lookup.Service, parallelism int) *tasks.Result {
+	cfg := tasks.CEAConfig{K: s.K, Parallelism: parallelism}
+	return tasks.CEA(ds, svc, s.Ranker, cfg)
+}
+
+// RunCTA annotates ds's columns using svc for lookup.
+func (s *System) RunCTA(ds *TabularDataset, svc lookup.Service, parallelism int) *tasks.CTAResult {
+	cfg := tasks.CEAConfig{K: s.K, Parallelism: parallelism}
+	return tasks.CTA(ds, svc, cfg)
+}
+
+// TabularDataset aliases tabular.Dataset to keep signatures readable.
+type TabularDataset = tabularDataset
+
+// NewBBW builds the bbw system over g: its original lookup is a SearX-style
+// metasearch endpoint (bbw's defining trait), and its ranker blends lookup
+// score, string similarity, and column-type coherence — bbw's "contextual
+// matching" stage.
+func NewBBW(g *kg.Graph) *System {
+	// The metasearch results still have to be resolved to KG entities by
+	// their labels — like the paper's originals, the pipeline is unaware of
+	// KG aliases (Section IV-D), which is what makes semantic lookups fail.
+	labelsOnly := lookup.CorpusFromGraph(g, false)
+	backend := baselines.NewFuzzyWuzzy(labelsOnly)
+	return &System{
+		SystemName: "bbw",
+		Original:   remote.New("searx-api", backend, remote.SearXConfig()),
+		Ranker:     coherenceRanker(0.5, 0.3),
+		K:          20,
+	}
+}
+
+// NewMantisTable builds the MantisTable system: ElasticSearch lookup over
+// entity labels, and a ranker dominated by column analysis (MantisTable's
+// signature concept-annotation phase).
+func NewMantisTable(g *kg.Graph) *System {
+	labels := lookup.CorpusFromGraph(g, false)
+	return &System{
+		SystemName: "MantisTable",
+		Original:   baselines.NewElastic(labels),
+		Ranker:     coherenceRanker(0.2, 0.7),
+		K:          20,
+	}
+}
+
+// NewJenTab builds the JenTab system: a cascade of lookup strategies
+// (exact first, then the Wikidata API, then local fuzzy matching) with a
+// Levenshtein-filtered ranker, mirroring JenTab's pool of create/filter
+// strategies.
+func NewJenTab(g *kg.Graph) *System {
+	labels := lookup.CorpusFromGraph(g, false)
+	// JenTab's primary candidate source is the Wikidata lookup endpoint
+	// (that remote dependency is why SemTab submissions took days); local
+	// fuzzy matching only catches what the endpoint misses. Like the
+	// paper's originals, the cached lookup tables cover entity labels, not
+	// the alias set (Section IV-D).
+	cascade := &CascadeService{
+		ServiceName: "jentab-cascade",
+		Stages: []lookup.Service{
+			remote.New("wikidata-api", baselines.NewExact(labels), remote.WikidataAPIConfig()),
+			baselines.NewLevenshteinScan(labels),
+		},
+	}
+	return &System{
+		SystemName: "JenTab",
+		Original:   cascade,
+		Ranker:     levenshteinFilterRanker(0.45),
+		K:          20,
+	}
+}
+
+// NewDoSeR builds the DoSeR disambiguation system: ElasticSearch-style
+// candidate generation plus collective PageRank disambiguation (implemented
+// in tasks.Disambiguate).
+func NewDoSeR(g *kg.Graph) *DoSeR {
+	labels := lookup.CorpusFromGraph(g, false)
+	return &DoSeR{
+		graph:    g,
+		Original: baselines.NewElastic(labels),
+		Config:   tasks.DefaultEAConfig(),
+	}
+}
+
+// NewKatara builds the Katara repair system: fuzzy lookup of the row
+// subject followed by relation-path validation against the knowledge graph.
+func NewKatara(g *kg.Graph) *Katara {
+	labels := lookup.CorpusFromGraph(g, false)
+	return &Katara{
+		graph:    g,
+		Original: baselines.NewLevenshteinScan(labels),
+		Config:   tasks.DefaultDRConfig(),
+	}
+}
+
+// coherenceRanker scores candidate c as
+// lookupScore + wSim·similarity(query, label) + wType·typeSupport and picks
+// the argmax. The lookup scores are min-max normalized across the candidate
+// set so services with different score scales (BM25, ratios, negated
+// embedding distances) compose — real systems feed their engine's relevance
+// score through in the same way.
+func coherenceRanker(wSim, wType float64) tasks.Ranker {
+	return tasks.RankerFunc(func(ctx *tasks.Context, cands []lookup.Candidate) kg.EntityID {
+		if len(cands) == 0 {
+			return kg.NoEntity
+		}
+		best := kg.NoEntity
+		bestScore := -1.0
+		maxVotes := 0
+		for _, v := range ctx.TypeVotes {
+			if v > maxVotes {
+				maxVotes = v
+			}
+		}
+		lo, hi := cands[0].Score, cands[0].Score
+		for _, c := range cands {
+			if c.Score < lo {
+				lo = c.Score
+			}
+			if c.Score > hi {
+				hi = c.Score
+			}
+		}
+		span := hi - lo
+		for _, c := range cands {
+			score := 1.0
+			if span > 0 {
+				score = (c.Score - lo) / span
+			}
+			e := ctx.Graph.Entity(c.ID)
+			if e == nil {
+				continue
+			}
+			score += wSim * strutil.Similarity(strings.ToLower(ctx.Query), strings.ToLower(e.Label))
+			if maxVotes > 0 {
+				support := 0
+				for _, t := range e.Types {
+					if v := ctx.TypeVotes[t]; v > support {
+						support = v
+					}
+				}
+				score += wType * float64(support) / float64(maxVotes)
+			}
+			if score > bestScore {
+				best, bestScore = c.ID, score
+			}
+		}
+		return best
+	})
+}
+
+// levenshteinFilterRanker drops candidates whose label similarity to the
+// query is below minSim, then picks the most column-coherent survivor —
+// JenTab's filter-then-select pattern.
+func levenshteinFilterRanker(minSim float64) tasks.Ranker {
+	inner := coherenceRanker(0.4, 0.4)
+	return tasks.RankerFunc(func(ctx *tasks.Context, cands []lookup.Candidate) kg.EntityID {
+		var kept []lookup.Candidate
+		for _, c := range cands {
+			e := ctx.Graph.Entity(c.ID)
+			if e == nil {
+				continue
+			}
+			if strutil.Similarity(strings.ToLower(ctx.Query), strings.ToLower(e.Label)) >= minSim {
+				kept = append(kept, c)
+			}
+		}
+		if len(kept) == 0 {
+			kept = cands // filter too strict: fall back to the full set
+		}
+		return inner.Rank(ctx, kept)
+	})
+}

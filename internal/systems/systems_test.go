@@ -1,0 +1,129 @@
+package systems
+
+import (
+	"testing"
+
+	"emblookup/internal/kg"
+	"emblookup/internal/lookup"
+	"emblookup/internal/tabular"
+)
+
+func fixtures(t *testing.T) (*kg.Graph, *tabular.Dataset) {
+	t.Helper()
+	g, s := kg.Generate(kg.DefaultGeneratorConfig(kg.WikidataProfile, 600))
+	ds := tabular.GenerateDataset(g, s, tabular.DefaultDatasetConfig(tabular.STWikidata, 20))
+	return g, ds
+}
+
+func TestAnnotationSystemsCleanAccuracy(t *testing.T) {
+	g, ds := fixtures(t)
+	for _, sys := range []*System{NewBBW(g), NewMantisTable(g), NewJenTab(g)} {
+		res := sys.RunCEA(ds, sys.Original, 1)
+		if res.F1() < 0.7 {
+			t.Errorf("%s clean CEA F1 = %.2f, want >= 0.7", sys.Name(), res.F1())
+		}
+		cta := sys.RunCTA(ds, sys.Original, 1)
+		if cta.F1() < 0.55 {
+			t.Errorf("%s clean CTA F1 = %.2f, want >= 0.55", sys.Name(), cta.F1())
+		}
+	}
+}
+
+func TestSystemsDegradeUnderNoise(t *testing.T) {
+	g, ds := fixtures(t)
+	noisy := tabular.NewInjector(5).Apply(ds)
+	for _, sys := range []*System{NewMantisTable(g), NewJenTab(g)} {
+		clean := sys.RunCEA(ds, sys.Original, 1)
+		dirty := sys.RunCEA(noisy, sys.Original, 1)
+		if dirty.F1() > clean.F1() {
+			t.Errorf("%s improved under noise: %.2f vs %.2f", sys.Name(), dirty.F1(), clean.F1())
+		}
+	}
+}
+
+func TestLookupServiceSwapKeepsPipeline(t *testing.T) {
+	g, ds := fixtures(t)
+	sys := NewMantisTable(g)
+	// Swapping in a different lookup service (JenTab's cascade) must work
+	// through the same pipeline — the transparency property the paper
+	// claims for EmbLookup.
+	other := NewJenTab(g).Original
+	res := sys.RunCEA(ds, other, 1)
+	if res.LookupCalls == 0 {
+		t.Fatal("swap produced no lookups")
+	}
+	if res.F1() < 0.5 {
+		t.Fatalf("swapped-service CEA F1 = %.2f", res.F1())
+	}
+}
+
+func TestBBWUsesRemoteVirtualClock(t *testing.T) {
+	g, ds := fixtures(t)
+	sys := NewBBW(g)
+	res := sys.RunCEA(ds, sys.Original, 1)
+	// The SearX simulation must dominate the measured lookup time.
+	if res.LookupTime < 0 {
+		t.Fatal("negative lookup time")
+	}
+	vc, ok := sys.Original.(lookup.VirtualClock)
+	if !ok {
+		t.Fatal("bbw's original service should expose a virtual clock")
+	}
+	if vc.VirtualElapsed() <= 0 {
+		t.Fatal("virtual latency not accumulated")
+	}
+}
+
+func TestCascadeFallsThrough(t *testing.T) {
+	g, _ := fixtures(t)
+	sys := NewJenTab(g)
+	cascade := sys.Original.(*CascadeService)
+	// A typo defeats the exact stages and must fall through to the fuzzy
+	// scan stage.
+	label := g.Entities[0].Label
+	typo := label[:len(label)-1] + "x"
+	res := cascade.Lookup(typo, 10)
+	found := false
+	for _, c := range res {
+		if c.ID == g.Entities[0].ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("cascade fuzzy fallback missed %q -> %q", label, typo)
+	}
+}
+
+func TestDoSeRRun(t *testing.T) {
+	g, ds := fixtures(t)
+	sys := NewDoSeR(g)
+	res := sys.Run(ds, sys.Original, 1)
+	if res.F1() < 0.6 {
+		t.Fatalf("DoSeR clean F1 = %.2f, want >= 0.6", res.F1())
+	}
+	if res.LookupCalls == 0 {
+		t.Fatal("no lookups recorded")
+	}
+}
+
+func TestKataraRun(t *testing.T) {
+	g, ds := fixtures(t)
+	sys := NewKatara(g)
+	res := sys.Run(ds, sys.Original, 0.10, 42, 1)
+	if res.F1() < 0.5 {
+		t.Fatalf("Katara clean F1 = %.2f, want >= 0.5", res.F1())
+	}
+}
+
+func TestSystemNames(t *testing.T) {
+	g, _ := fixtures(t)
+	names := map[string]bool{}
+	names[NewBBW(g).Name()] = true
+	names[NewMantisTable(g).Name()] = true
+	names[NewJenTab(g).Name()] = true
+	names[NewDoSeR(g).Name()] = true
+	names[NewKatara(g).Name()] = true
+	if len(names) != 5 {
+		t.Fatalf("expected 5 distinct system names, got %v", names)
+	}
+}

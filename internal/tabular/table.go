@@ -1,0 +1,123 @@
+// Package tabular implements the tabular-data substrate of the evaluation:
+// tables whose cells carry ground-truth knowledge-graph annotations, a
+// generator that produces SemTab-style benchmark datasets (the ST-Wikidata,
+// ST-DBPedia, and Tough Tables profiles of Table I), the error-injection
+// machinery used by the paper's noise experiments (Table IV), and the alias
+// substitution used by the semantic-lookup experiment (Table VI).
+package tabular
+
+import (
+	"fmt"
+
+	"emblookup/internal/kg"
+)
+
+// Cell is a single table cell. Entity cells carry the ground-truth entity ID
+// used to score the Cell Entity Annotation task; literal cells have Truth ==
+// kg.NoEntity.
+type Cell struct {
+	Text  string
+	Truth kg.EntityID
+}
+
+// IsEntity reports whether the cell refers to a KG entity (and therefore
+// participates in the CEA task).
+func (c Cell) IsEntity() bool { return c.Truth != kg.NoEntity }
+
+// Column carries the per-column ground truth for Column Type Annotation. A
+// literal column has TruthType == kg.NoType.
+type Column struct {
+	Name      string
+	TruthType kg.TypeID
+	Prop      kg.PropID // relation from the subject column, kg.PropID(-1) if none
+}
+
+// Table is an m×n relational table with annotation ground truth. Rows all
+// have len == len(Cols). Column 0 is the subject column: the entity each row
+// is about.
+type Table struct {
+	Name string
+	Cols []Column
+	Rows [][]Cell
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.Rows) }
+
+// NumCols returns the number of columns.
+func (t *Table) NumCols() int { return len(t.Cols) }
+
+// EntityCells calls fn for every entity cell with its row and column index.
+func (t *Table) EntityCells(fn func(row, col int, c Cell)) {
+	for i, r := range t.Rows {
+		for j, c := range r {
+			if c.IsEntity() {
+				fn(i, j, c)
+			}
+		}
+	}
+}
+
+// Clone returns a deep copy of t (cells and columns are copied).
+func (t *Table) Clone() *Table {
+	out := &Table{Name: t.Name, Cols: append([]Column(nil), t.Cols...)}
+	out.Rows = make([][]Cell, len(t.Rows))
+	for i, r := range t.Rows {
+		out.Rows[i] = append([]Cell(nil), r...)
+	}
+	return out
+}
+
+// Dataset is a named collection of annotated tables over one knowledge
+// graph.
+type Dataset struct {
+	Name   string
+	Graph  *kg.Graph
+	Tables []*Table
+}
+
+// Clone deep-copies the dataset's tables (the graph is shared).
+func (d *Dataset) Clone() *Dataset {
+	out := &Dataset{Name: d.Name, Graph: d.Graph, Tables: make([]*Table, len(d.Tables))}
+	for i, t := range d.Tables {
+		out.Tables[i] = t.Clone()
+	}
+	return out
+}
+
+// Stats summarizes the dataset in the shape of the paper's Table I.
+type Stats struct {
+	Tables        int
+	AvgRows       float64
+	AvgCols       float64
+	CellsToLabel  int // entity cells with ground truth (the "#Cells" row)
+	EntityColumns int // columns with a CTA ground truth
+}
+
+// ComputeStats returns Table I statistics for d.
+func (d *Dataset) ComputeStats() Stats {
+	var s Stats
+	s.Tables = len(d.Tables)
+	totalRows, totalCols := 0, 0
+	for _, t := range d.Tables {
+		totalRows += t.NumRows()
+		totalCols += t.NumCols()
+		for _, c := range t.Cols {
+			if c.TruthType != kg.NoType {
+				s.EntityColumns++
+			}
+		}
+		t.EntityCells(func(_, _ int, _ Cell) { s.CellsToLabel++ })
+	}
+	if s.Tables > 0 {
+		s.AvgRows = float64(totalRows) / float64(s.Tables)
+		s.AvgCols = float64(totalCols) / float64(s.Tables)
+	}
+	return s
+}
+
+// String renders the stats in one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("#Tables=%d avgRows=%.1f avgCols=%.1f #Cells=%d #EntityCols=%d",
+		s.Tables, s.AvgRows, s.AvgCols, s.CellsToLabel, s.EntityColumns)
+}

@@ -1,0 +1,269 @@
+package tabular
+
+import (
+	"strings"
+	"testing"
+
+	"emblookup/internal/kg"
+	"emblookup/internal/mathx"
+	"emblookup/internal/strutil"
+)
+
+func testGraph(t *testing.T) (*kg.Graph, *kg.Schema) {
+	t.Helper()
+	g, s := kg.Generate(kg.DefaultGeneratorConfig(kg.WikidataProfile, 800))
+	return g, s
+}
+
+func TestGenerateDatasetGroundTruth(t *testing.T) {
+	g, s := testGraph(t)
+	ds := GenerateDataset(g, s, DefaultDatasetConfig(STWikidata, 30))
+	if len(ds.Tables) == 0 {
+		t.Fatal("no tables generated")
+	}
+	checked := 0
+	for _, tb := range ds.Tables {
+		tb.EntityCells(func(_, _ int, c Cell) {
+			e := g.Entity(c.Truth)
+			if e == nil {
+				t.Fatalf("cell %q has invalid truth", c.Text)
+			}
+			// The clean dataset's cell text must be the entity's label.
+			if c.Text != e.Label {
+				t.Fatalf("clean cell text %q != label %q", c.Text, e.Label)
+			}
+			checked++
+		})
+	}
+	if checked == 0 {
+		t.Fatal("no entity cells generated")
+	}
+}
+
+func TestGenerateDatasetColumnTypes(t *testing.T) {
+	g, s := testGraph(t)
+	ds := GenerateDataset(g, s, DefaultDatasetConfig(STWikidata, 30))
+	for _, tb := range ds.Tables {
+		for j, col := range tb.Cols {
+			if col.TruthType == kg.NoType {
+				continue
+			}
+			for _, row := range tb.Rows {
+				c := row[j]
+				if !c.IsEntity() {
+					continue // missing relation for that row
+				}
+				if !g.HasType(c.Truth, col.TruthType) {
+					t.Fatalf("cell %q in column %q does not have type %s",
+						c.Text, col.Name, g.TypeName(col.TruthType))
+				}
+			}
+		}
+	}
+}
+
+func TestDatasetProfilesShape(t *testing.T) {
+	g, s := testGraph(t)
+	wiki := GenerateDataset(g, s, DefaultDatasetConfig(STWikidata, 50)).ComputeStats()
+	dbp := GenerateDataset(g, s, DefaultDatasetConfig(STDBPedia, 50)).ComputeStats()
+	tough := GenerateDataset(g, s, DefaultDatasetConfig(ToughTables, 10)).ComputeStats()
+	if wiki.AvgRows >= dbp.AvgRows {
+		t.Fatalf("ST-Wikidata rows (%.1f) should be fewer than ST-DBPedia (%.1f)", wiki.AvgRows, dbp.AvgRows)
+	}
+	if dbp.AvgRows >= tough.AvgRows {
+		t.Fatalf("ST-DBPedia rows (%.1f) should be fewer than ToughTables (%.1f)", dbp.AvgRows, tough.AvgRows)
+	}
+}
+
+func TestDatasetDeterministic(t *testing.T) {
+	g, s := testGraph(t)
+	cfg := DefaultDatasetConfig(STWikidata, 20)
+	a := GenerateDataset(g, s, cfg)
+	b := GenerateDataset(g, s, cfg)
+	if len(a.Tables) != len(b.Tables) {
+		t.Fatal("table counts differ")
+	}
+	for i := range a.Tables {
+		if a.Tables[i].NumRows() != b.Tables[i].NumRows() {
+			t.Fatal("row counts differ")
+		}
+		for r := range a.Tables[i].Rows {
+			for c := range a.Tables[i].Rows[r] {
+				if a.Tables[i].Rows[r][c] != b.Tables[i].Rows[r][c] {
+					t.Fatal("cells differ between identical configs")
+				}
+			}
+		}
+	}
+}
+
+func TestInjectorCorruptsApproxFraction(t *testing.T) {
+	g, s := testGraph(t)
+	ds := GenerateDataset(g, s, DefaultDatasetConfig(STDBPedia, 60))
+	in := NewInjector(99)
+	noisy := in.Apply(ds)
+
+	total, changed := 0, 0
+	for ti, tb := range ds.Tables {
+		for r := range tb.Rows {
+			for c := range tb.Rows[r] {
+				if !tb.Rows[r][c].IsEntity() {
+					continue
+				}
+				total++
+				if noisy.Tables[ti].Rows[r][c].Text != tb.Rows[r][c].Text {
+					changed++
+				}
+			}
+		}
+	}
+	frac := float64(changed) / float64(total)
+	if frac < 0.05 || frac > 0.16 {
+		t.Fatalf("corrupted fraction %.3f, want around 0.10", frac)
+	}
+}
+
+func TestInjectorPreservesTruth(t *testing.T) {
+	g, s := testGraph(t)
+	ds := GenerateDataset(g, s, DefaultDatasetConfig(STWikidata, 20))
+	noisy := NewInjector(3).Apply(ds)
+	for ti, tb := range ds.Tables {
+		for r := range tb.Rows {
+			for c := range tb.Rows[r] {
+				if noisy.Tables[ti].Rows[r][c].Truth != tb.Rows[r][c].Truth {
+					t.Fatal("noise must not alter ground truth")
+				}
+			}
+		}
+	}
+}
+
+func TestApplyNoiseClasses(t *testing.T) {
+	rng := mathx.NewRNG(1)
+	s := "Federal Republic"
+	if got := ApplyNoise(s, DropLetters, rng); len(got) >= len(s) {
+		t.Fatalf("DropLetters did not shorten: %q", got)
+	}
+	if got := ApplyNoise(s, InsertLetters, rng); len(got) <= len(s) {
+		t.Fatalf("InsertLetters did not lengthen: %q", got)
+	}
+	if got := ApplyNoise(s, TransposeLetters, rng); got == s || len(got) != len(s) {
+		t.Fatalf("TransposeLetters wrong: %q", got)
+	}
+	if got := ApplyNoise(s, SwapTokens, rng); got != "Republic Federal" {
+		t.Fatalf("SwapTokens = %q", got)
+	}
+	got := ApplyNoise(s, AbbreviateToken, rng)
+	if got == s || !strings.Contains(got, ".") {
+		t.Fatalf("AbbreviateToken = %q", got)
+	}
+	// Single-token corner cases.
+	if got := ApplyNoise("ab", SwapTokens, rng); got != "ab" {
+		t.Fatalf("SwapTokens single token should no-op, got %q", got)
+	}
+	if got := ApplyNoise("a", TransposeLetters, rng); got == "a" {
+		t.Fatalf("TransposeLetters on 1 rune should still perturb")
+	}
+}
+
+func TestApplyNoiseStaysClose(t *testing.T) {
+	// Letter-level noise must stay within small edit distance of the
+	// original — that is what makes it recoverable by fuzzy lookup.
+	rng := mathx.NewRNG(5)
+	for i := 0; i < 200; i++ {
+		orig := "Bramonia Ridge"
+		for _, k := range []NoiseKind{DropLetters, InsertLetters, TransposeLetters} {
+			noisy := ApplyNoise(orig, k, rng)
+			if d := strutil.Levenshtein(orig, noisy); d > 3 {
+				t.Fatalf("%v produced distance %d: %q", k, d, noisy)
+			}
+		}
+	}
+}
+
+func TestSubstituteAliases(t *testing.T) {
+	g, s := testGraph(t)
+	ds := GenerateDataset(g, s, DefaultDatasetConfig(STWikidata, 30))
+	sub := SubstituteAliases(ds, 11)
+	replaced, total := 0, 0
+	for ti, tb := range ds.Tables {
+		for r := range tb.Rows {
+			for c := range tb.Rows[r] {
+				orig := tb.Rows[r][c]
+				if !orig.IsEntity() {
+					continue
+				}
+				total++
+				got := sub.Tables[ti].Rows[r][c]
+				if got.Truth != orig.Truth {
+					t.Fatal("alias substitution changed truth")
+				}
+				if got.Text != orig.Text {
+					replaced++
+					// The substituted text must be one of the entity's aliases.
+					e := g.Entity(orig.Truth)
+					found := false
+					for _, a := range e.Aliases {
+						if a == got.Text {
+							found = true
+						}
+					}
+					if !found {
+						t.Fatalf("substituted text %q is not an alias of %q", got.Text, e.Label)
+					}
+				}
+			}
+		}
+	}
+	if replaced == 0 {
+		t.Fatal("no cells were alias-substituted")
+	}
+	if float64(replaced)/float64(total) < 0.5 {
+		t.Fatalf("too few substitutions: %d/%d", replaced, total)
+	}
+}
+
+func TestSubstituteAliasesVariantsDiffer(t *testing.T) {
+	g, s := testGraph(t)
+	ds := GenerateDataset(g, s, DefaultDatasetConfig(STWikidata, 10))
+	a := SubstituteAliases(ds, 1)
+	b := SubstituteAliases(ds, 2)
+	diff := false
+	for ti := range a.Tables {
+		for r := range a.Tables[ti].Rows {
+			for c := range a.Tables[ti].Rows[r] {
+				if a.Tables[ti].Rows[r][c].Text != b.Tables[ti].Rows[r][c].Text {
+					diff = true
+				}
+			}
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds should give different alias variants")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g, s := testGraph(t)
+	ds := GenerateDataset(g, s, DefaultDatasetConfig(STWikidata, 5))
+	cp := ds.Clone()
+	cp.Tables[0].Rows[0][0].Text = "MUTATED"
+	if ds.Tables[0].Rows[0][0].Text == "MUTATED" {
+		t.Fatal("Clone shares row storage")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	g, s := testGraph(t)
+	ds := GenerateDataset(g, s, DefaultDatasetConfig(STWikidata, 25))
+	st := ds.ComputeStats()
+	if st.Tables != len(ds.Tables) {
+		t.Fatal("table count mismatch")
+	}
+	if st.CellsToLabel == 0 || st.AvgRows == 0 || st.AvgCols == 0 {
+		t.Fatalf("degenerate stats: %+v", st)
+	}
+	if !strings.Contains(st.String(), "#Tables") {
+		t.Fatalf("Stats.String = %q", st.String())
+	}
+}

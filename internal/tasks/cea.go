@@ -1,0 +1,69 @@
+package tasks
+
+import (
+	"emblookup/internal/kg"
+	"emblookup/internal/lookup"
+	"emblookup/internal/tabular"
+)
+
+// CEAConfig controls the cell-entity-annotation pipeline.
+type CEAConfig struct {
+	// K is the candidate budget per lookup (the paper's applications use
+	// 20–100).
+	K int
+	// Parallelism for the lookup pass (1 = CPU mode, ≤0 = all cores).
+	Parallelism int
+}
+
+// DefaultCEAConfig uses k=20 sequential lookups.
+func DefaultCEAConfig() CEAConfig { return CEAConfig{K: 20, Parallelism: 1} }
+
+// CEA runs cell entity annotation over ds: candidate generation through
+// svc, column-type voting, then the system-specific ranker picks one entity
+// per cell. Accuracy is scored against the dataset's ground truth.
+func CEA(ds *tabular.Dataset, svc lookup.Service, ranker Ranker, cfg CEAConfig) *Result {
+	if cfg.K <= 0 {
+		cfg.K = 20
+	}
+	cands, lookupTime, calls := lookupAll(ds, svc, cfg.K, cfg.Parallelism)
+	votes := typeVotes(ds, cands)
+
+	res := &Result{
+		Predictions: make(map[CellRef]kg.EntityID, len(cands)),
+		LookupTime:  lookupTime,
+		LookupCalls: calls,
+	}
+	// First pass: provisional assignment (top candidate) to give rankers
+	// row context.
+	provisional := make(map[CellRef]kg.EntityID, len(cands))
+	for ref, cs := range cands {
+		provisional[ref] = TopCandidate.Rank(nil, cs)
+	}
+	for ref, cs := range cands {
+		tb := ds.Tables[ref.Table]
+		rowEnts := make([]kg.EntityID, tb.NumCols())
+		for c := 0; c < tb.NumCols(); c++ {
+			rowEnts[c] = kg.NoEntity
+			if c == ref.Col {
+				continue
+			}
+			if id, ok := provisional[CellRef{Table: ref.Table, Row: ref.Row, Col: c}]; ok {
+				rowEnts[c] = id
+			}
+		}
+		ctx := &Context{
+			Graph:       ds.Graph,
+			Table:       tb,
+			Row:         ref.Row,
+			Col:         ref.Col,
+			Query:       tb.Rows[ref.Row][ref.Col].Text,
+			TypeVotes:   votes[[2]int{ref.Table, ref.Col}],
+			RowEntities: rowEnts,
+		}
+		pred := ranker.Rank(ctx, cs)
+		res.Predictions[ref] = pred
+		truth := tb.Rows[ref.Row][ref.Col].Truth
+		res.Confusion.Record(pred != kg.NoEntity, pred == truth)
+	}
+	return res
+}

@@ -1,0 +1,118 @@
+package tasks
+
+import (
+	"time"
+
+	"emblookup/internal/kg"
+	"emblookup/internal/lookup"
+	"emblookup/internal/metrics"
+	"emblookup/internal/tabular"
+)
+
+// CTAResult carries column-type predictions and accuracy.
+type CTAResult struct {
+	// Predictions maps (table, column) to the predicted type.
+	Predictions map[[2]int]kg.TypeID
+	Confusion   metrics.Confusion
+	LookupTime  time.Duration
+	LookupCalls int
+}
+
+// F1 is shorthand for the run's F-score.
+func (r *CTAResult) F1() float64 { return r.Confusion.F1() }
+
+// CTA runs column type annotation: every entity cell's candidates vote for
+// their types, and each column is assigned the most specific type with
+// support from a majority of its cells (the standard SemTab CTA strategy).
+func CTA(ds *tabular.Dataset, svc lookup.Service, cfg CEAConfig) *CTAResult {
+	if cfg.K <= 0 {
+		cfg.K = 20
+	}
+	cands, lookupTime, calls := lookupAll(ds, svc, cfg.K, cfg.Parallelism)
+
+	// Per column: per-cell type sets from the top candidates.
+	type colKey = [2]int
+	cellTypes := make(map[colKey][]map[kg.TypeID]bool)
+	for ref, cs := range cands {
+		key := colKey{ref.Table, ref.Col}
+		types := make(map[kg.TypeID]bool)
+		limit := 3
+		for i, c := range cs {
+			if i >= limit {
+				break
+			}
+			e := ds.Graph.Entity(c.ID)
+			if e == nil {
+				continue
+			}
+			for _, t := range e.Types {
+				// Walk up the hierarchy so general types also get support.
+				for cur := t; cur != kg.NoType; cur = ds.Graph.Types[cur].Parent {
+					types[cur] = true
+					if ds.Graph.Types[cur].Parent == cur {
+						break
+					}
+				}
+			}
+		}
+		cellTypes[key] = append(cellTypes[key], types)
+	}
+
+	res := &CTAResult{
+		Predictions: make(map[[2]int]kg.TypeID),
+		LookupTime:  lookupTime,
+		LookupCalls: calls,
+	}
+	for key, perCell := range cellTypes {
+		support := make(map[kg.TypeID]int)
+		for _, ts := range perCell {
+			for t := range ts {
+				support[t]++
+			}
+		}
+		// Most specific type supported by a majority of cells; ties break
+		// by support, then by type id, so the prediction is deterministic.
+		need := (len(perCell) + 1) / 2
+		best := kg.NoType
+		bestDepth, bestSupport := -1, -1
+		for t, s := range support {
+			if s < need {
+				continue
+			}
+			d := ds.Graph.TypeDepth(t)
+			if d > bestDepth ||
+				(d == bestDepth && s > bestSupport) ||
+				(d == bestDepth && s == bestSupport && t < best) {
+				best, bestDepth, bestSupport = t, d, s
+			}
+		}
+		res.Predictions[key] = best
+		truth := ds.Tables[key[0]].Cols[key[1]].TruthType
+		if truth == kg.NoType {
+			continue // literal columns are not scored
+		}
+		res.Confusion.Record(best != kg.NoType, best == truth)
+	}
+	// Columns whose cells produced no candidates at all still count as
+	// misses.
+	for ti, tb := range ds.Tables {
+		for ci, col := range tb.Cols {
+			if col.TruthType == kg.NoType {
+				continue
+			}
+			if _, ok := cellTypes[[2]int{ti, ci}]; !ok {
+				hasEntityCell := false
+				for _, row := range tb.Rows {
+					if row[ci].IsEntity() {
+						hasEntityCell = true
+						break
+					}
+				}
+				if hasEntityCell {
+					res.Confusion.Record(false, false)
+				}
+			}
+		}
+	}
+	return res
+}

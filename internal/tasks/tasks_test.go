@@ -1,0 +1,202 @@
+package tasks
+
+import (
+	"testing"
+
+	"emblookup/internal/baselines"
+	"emblookup/internal/kg"
+	"emblookup/internal/lookup"
+	"emblookup/internal/tabular"
+)
+
+func fixtures(t *testing.T) (*kg.Graph, *kg.Schema, *tabular.Dataset, lookup.Service) {
+	t.Helper()
+	g, s := kg.Generate(kg.DefaultGeneratorConfig(kg.WikidataProfile, 600))
+	ds := tabular.GenerateDataset(g, s, tabular.DefaultDatasetConfig(tabular.STWikidata, 25))
+	svc := baselines.NewElastic(lookup.CorpusFromGraph(g, false))
+	return g, s, ds, svc
+}
+
+func TestCEAAccurateOnCleanData(t *testing.T) {
+	_, _, ds, svc := fixtures(t)
+	res := CEA(ds, svc, TopCandidate, DefaultCEAConfig())
+	if res.F1() < 0.75 {
+		t.Fatalf("clean CEA F1 = %.2f, want >= 0.75", res.F1())
+	}
+	if res.LookupCalls == 0 || res.LookupTime <= 0 {
+		t.Fatal("lookup instrumentation missing")
+	}
+	if len(res.Predictions) != res.LookupCalls {
+		t.Fatalf("%d predictions for %d lookups", len(res.Predictions), res.LookupCalls)
+	}
+}
+
+func TestCEAContextRankerBeatsTopOnAmbiguity(t *testing.T) {
+	// Build a tiny graph with two homonym entities of different types and a
+	// table whose column context disambiguates.
+	g := kg.NewGraph("mini")
+	root := g.AddType("entity", kg.NoType)
+	country := g.AddType("country", root)
+	city := g.AddType("city", root)
+	berlinCity := g.AddEntity("Berlin", nil, city)
+	_ = g.AddEntity("Berlin", nil, country) // homonym of another type
+	hamburg := g.AddEntity("Hamburg", nil, city)
+	munich := g.AddEntity("Munich", nil, city)
+	g.Reindex()
+
+	ds := &tabular.Dataset{Name: "mini", Graph: g, Tables: []*tabular.Table{{
+		Name: "cities",
+		Cols: []tabular.Column{{Name: "city", TruthType: city, Prop: -1}},
+		Rows: [][]tabular.Cell{
+			{{Text: "Berlin", Truth: berlinCity}},
+			{{Text: "Hamburg", Truth: hamburg}},
+			{{Text: "Munich", Truth: munich}},
+		},
+	}}}
+	svc := baselines.NewLevenshteinScan(lookup.CorpusFromGraph(g, false))
+
+	typeAware := RankerFunc(func(ctx *Context, cands []lookup.Candidate) kg.EntityID {
+		best := kg.NoEntity
+		bestVotes := -1
+		for _, c := range cands {
+			e := ctx.Graph.Entity(c.ID)
+			votes := 0
+			for _, tp := range e.Types {
+				votes += ctx.TypeVotes[tp]
+			}
+			if votes > bestVotes {
+				best, bestVotes = c.ID, votes
+			}
+		}
+		return best
+	})
+	res := CEA(ds, svc, typeAware, DefaultCEAConfig())
+	if res.Confusion.TP != 3 {
+		t.Fatalf("type-aware ranker should resolve all three cells, got %+v", res.Confusion)
+	}
+}
+
+func TestCTAAccurateOnCleanData(t *testing.T) {
+	_, _, ds, svc := fixtures(t)
+	res := CTA(ds, svc, DefaultCEAConfig())
+	if res.F1() < 0.6 {
+		t.Fatalf("clean CTA F1 = %.2f, want >= 0.6", res.F1())
+	}
+}
+
+func TestCTAPredictsMostSpecificType(t *testing.T) {
+	g, s, ds, svc := fixtures(t)
+	res := CTA(ds, svc, DefaultCEAConfig())
+	correctSpecific := 0
+	for key, pred := range res.Predictions {
+		truth := ds.Tables[key[0]].Cols[key[1]].TruthType
+		if truth != kg.NoType && pred == truth {
+			correctSpecific++
+			// Predicted type must be a leaf-ish type, not the root.
+			if pred == s.Root {
+				t.Fatal("CTA predicted the root type as most specific")
+			}
+		}
+	}
+	if correctSpecific == 0 {
+		t.Fatal("CTA never matched the specific truth type")
+	}
+	_ = g
+}
+
+func TestDisambiguatePrefersCoherentSet(t *testing.T) {
+	// Graph: person works in cityA; homonym city with the same label exists
+	// but is unconnected. Collective disambiguation should pick the
+	// connected one.
+	g := kg.NewGraph("coherence")
+	root := g.AddType("entity", kg.NoType)
+	city := g.AddType("city", root)
+	person := g.AddType("person", root)
+	bornIn := g.AddProperty("bornIn", person, city)
+	alice := g.AddEntity("Alice Maren", nil, person)
+	springfieldA := g.AddEntity("Springfield", nil, city)
+	springfieldB := g.AddEntity("Springfield", nil, city) // decoy, no links
+	g.AddFact(alice, bornIn, springfieldA)
+	g.Reindex()
+	_ = springfieldB
+
+	svc := baselines.NewLevenshteinScan(lookup.CorpusFromGraph(g, false))
+	res := Disambiguate(g, svc, []string{"Alice Maren", "Springfield"},
+		[]kg.EntityID{alice, springfieldA}, DefaultEAConfig())
+	if res.Assignments[1] != springfieldA {
+		t.Fatalf("collective disambiguation picked %v, want connected city %v",
+			res.Assignments[1], springfieldA)
+	}
+	if res.Confusion.TP != 2 {
+		t.Fatalf("confusion = %+v", res.Confusion)
+	}
+}
+
+func TestDisambiguateNilTruths(t *testing.T) {
+	g, _, _, svc := fixtures(t)
+	res := Disambiguate(g, svc, []string{g.Entities[0].Label}, nil, DefaultEAConfig())
+	if len(res.Assignments) != 1 {
+		t.Fatal("expected one assignment")
+	}
+	if res.Confusion.TP+res.Confusion.FP+res.Confusion.FN != 0 {
+		t.Fatal("nil truths should not be scored")
+	}
+}
+
+func TestMaskCells(t *testing.T) {
+	_, _, ds, _ := fixtures(t)
+	masked, cells := MaskCells(ds, 0.10, 42)
+	if len(cells) == 0 {
+		t.Fatal("nothing masked")
+	}
+	for _, mc := range cells {
+		if mc.Ref.Col == 0 {
+			t.Fatal("subject column must never be masked")
+		}
+		got := masked.Tables[mc.Ref.Table].Rows[mc.Ref.Row][mc.Ref.Col]
+		if got.Text != "" || got.Truth != kg.NoEntity {
+			t.Fatal("masked cell not blanked")
+		}
+		orig := ds.Tables[mc.Ref.Table].Rows[mc.Ref.Row][mc.Ref.Col]
+		if orig.Text != mc.TruthText || orig.Truth != mc.TruthID {
+			t.Fatal("mask truth does not match original")
+		}
+	}
+}
+
+func TestRepairImputesFromGraph(t *testing.T) {
+	_, _, ds, svc := fixtures(t)
+	masked, cells := MaskCells(ds, 0.15, 7)
+	res := Repair(masked, cells, svc, DefaultDRConfig())
+	if res.F1() < 0.5 {
+		t.Fatalf("repair F1 = %.2f, want >= 0.5", res.F1())
+	}
+	if res.LookupCalls == 0 {
+		t.Fatal("repair did no lookups")
+	}
+	if len(res.Imputed) != len(cells) {
+		t.Fatal("not every masked cell received a verdict")
+	}
+}
+
+func TestRepairDeterministic(t *testing.T) {
+	_, _, ds, svc := fixtures(t)
+	masked, cells := MaskCells(ds, 0.10, 9)
+	a := Repair(masked, cells, svc, DefaultDRConfig())
+	b := Repair(masked, cells, svc, DefaultDRConfig())
+	for ref, id := range a.Imputed {
+		if b.Imputed[ref] != id {
+			t.Fatal("repair not deterministic")
+		}
+	}
+}
+
+func TestCEANoisyDataDegradesExactService(t *testing.T) {
+	g, _, ds, _ := fixtures(t)
+	exact := baselines.NewExact(lookup.CorpusFromGraph(g, false))
+	clean := CEA(ds, exact, TopCandidate, DefaultCEAConfig())
+	noisy := CEA(tabular.NewInjector(3).Apply(ds), exact, TopCandidate, DefaultCEAConfig())
+	if noisy.F1() >= clean.F1() {
+		t.Fatalf("noise should hurt exact-match CEA: %.2f vs %.2f", noisy.F1(), clean.F1())
+	}
+}
