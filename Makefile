@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: build test race bench verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -timeout 60m ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+# Full pre-merge gate: vet + build + race-enabled tests + a short pass of
+# the allocation benchmarks guarding the lookup hot path.
+verify:
+	./scripts/verify.sh

@@ -22,6 +22,7 @@ import (
 	"emblookup/internal/baselines"
 	"emblookup/internal/core"
 	"emblookup/internal/experiments"
+	"emblookup/internal/index"
 	"emblookup/internal/kg"
 	"emblookup/internal/lookup"
 	"emblookup/internal/mathx"
@@ -177,6 +178,62 @@ func BenchmarkBaselineQGram(b *testing.B) {
 
 func BenchmarkBaselineLSH(b *testing.B) {
 	benchBaseline(b, func(c *lookup.Corpus) lookup.Service { return baselines.NewLSH(c) })
+}
+
+// BenchmarkPQSearch measures the steady-state compressed search path. With
+// pooled scratch (ADC table, top-k heap, block distance strip all reused)
+// the only allocation left is the returned result slice; run with -benchmem
+// to verify ≤2 allocs/op.
+func BenchmarkPQSearch(b *testing.B) {
+	data := mathx.NewMatrix(10000, 64)
+	data.FillRandn(mathx.NewRNG(3), 1)
+	ix, err := index.NewPQ(data, quant.PQConfig{M: 8, Ks: 64, Iters: 5, Seed: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := data.Row(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Search(q, 10)
+	}
+}
+
+// BenchmarkLookupAllocs records the allocation profile of the end-to-end
+// query path (the numbers cmd/benchkg -bench-lookup snapshots into
+// BENCH_lookup.json). Sub-benchmarks cover the single-query wrappers and
+// the bulk mode whose workers own scratch for the whole batch.
+func BenchmarkLookupAllocs(b *testing.B) {
+	g, m, nc := model(b)
+	b.Run("embed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m.Embed("Bramonia Ridge")
+		}
+	})
+	b.Run("pq", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m.Lookup("Bramonia Ridge", 10)
+		}
+	})
+	b.Run("flat", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			nc.Lookup("Bramonia Ridge", 10)
+		}
+	})
+	b.Run("bulk", func(b *testing.B) {
+		queries := make([]string, 256)
+		for i := range queries {
+			queries[i] = g.Entities[i%len(g.Entities)].Label
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.BulkLookup(queries, 10, 0)
+		}
+	})
 }
 
 func BenchmarkPQEncode(b *testing.B) {

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"emblookup/internal/core"
+	"emblookup/internal/kg"
+)
+
+// benchResult is one row of the BENCH_lookup.json snapshot.
+type benchResult struct {
+	Name     string  `json:"name"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	AllocsOp int64   `json:"allocs_per_op"`
+	BytesOp  int64   `json:"bytes_per_op"`
+}
+
+// benchLookup trains a small model and snapshots the allocation profile of
+// the query hot path into a JSON file, so allocation regressions show up in
+// diffs rather than only under `go test -bench -benchmem`.
+func benchLookup(path string, entities int, seed uint64) error {
+	gCfg := kg.DefaultGeneratorConfig(kg.WikidataProfile, entities)
+	gCfg.Seed = seed
+	g, _ := kg.Generate(gCfg)
+
+	cfg := core.FastConfig()
+	cfg.Epochs = 4
+	m, err := core.Train(g, cfg)
+	if err != nil {
+		return fmt.Errorf("training: %w", err)
+	}
+	nc, err := m.WithCompression(false)
+	if err != nil {
+		return fmt.Errorf("decompressing: %w", err)
+	}
+
+	query := g.Entities[0].Label
+	queries := make([]string, 256)
+	for i := range queries {
+		queries[i] = g.Entities[i%len(g.Entities)].Label
+	}
+
+	cases := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"embed", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m.Embed(query)
+			}
+		}},
+		{"lookup_pq", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m.Lookup(query, 10)
+			}
+		}},
+		{"lookup_flat", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				nc.Lookup(query, 10)
+			}
+		}},
+		{"bulk_lookup_256", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m.BulkLookup(queries, 10, 0)
+			}
+		}},
+	}
+
+	var results []benchResult
+	for _, c := range cases {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			c.fn(b)
+		})
+		res := benchResult{
+			Name:     c.name,
+			NsPerOp:  float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsOp: r.AllocsPerOp(),
+			BytesOp:  r.AllocedBytesPerOp(),
+		}
+		results = append(results, res)
+		fmt.Printf("%-16s %12.0f ns/op %8d allocs/op %10d B/op\n",
+			res.Name, res.NsPerOp, res.AllocsOp, res.BytesOp)
+	}
+
+	buf, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

@@ -5,6 +5,11 @@
 // Usage:
 //
 //	benchkg -entities 2000 -dataset st-wikidata -tables 40 [-noise 0.1] [-aliases] [-dump 2]
+//
+// With -bench-lookup it instead trains a small model and writes a JSON
+// snapshot of the lookup hot path's timing and allocation profile:
+//
+//	benchkg -bench-lookup BENCH_lookup.json [-entities 2000]
 package main
 
 import (
@@ -29,7 +34,15 @@ func main() {
 	dump := flag.Int("dump", 0, "print the first N tables")
 	csvDir := flag.String("csv", "", "write every table as a CSV file into this directory")
 	seed := flag.Uint64("seed", 42, "seed")
+	benchPath := flag.String("bench-lookup", "", "train a model and write a lookup benchmark snapshot to this JSON file")
 	flag.Parse()
+
+	if *benchPath != "" {
+		if err := benchLookup(*benchPath, *entities, *seed); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	profile := kg.WikidataProfile
 	dsProfile := tabular.STWikidata

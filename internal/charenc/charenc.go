@@ -123,7 +123,17 @@ func (e *Encoder) EncodeInto(m string, X *mathx.Matrix) {
 // MaxLen and padded with -1. This sparse form lets the first convolution
 // layer skip the dense one-hot multiply.
 func (e *Encoder) EncodeIndexes(m string) []int {
-	out := make([]int, e.MaxLen)
+	return e.EncodeIndexesInto(m, nil)
+}
+
+// EncodeIndexesInto is EncodeIndexes writing into buf, which is reused when
+// its capacity suffices (the returned slice always has length MaxLen).
+// Reusing a buffer keeps the steady-state query path allocation-free.
+func (e *Encoder) EncodeIndexesInto(m string, buf []int) []int {
+	if cap(buf) < e.MaxLen {
+		buf = make([]int, e.MaxLen)
+	}
+	out := buf[:e.MaxLen]
 	for i := range out {
 		out[i] = -1
 	}

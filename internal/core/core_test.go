@@ -2,10 +2,12 @@ package core
 
 import (
 	"bytes"
+	"fmt"
 	"sync"
 	"testing"
 
 	"emblookup/internal/kg"
+	"emblookup/internal/lookup"
 	"emblookup/internal/mathx"
 	"emblookup/internal/tabular"
 	"emblookup/internal/triplet"
@@ -132,6 +134,65 @@ func TestEmbedDeterministicAndConcurrent(t *testing.T) {
 				t.Fatal("concurrent Embed results differ")
 			}
 		}
+	}
+
+	// Hammer Lookup and BulkLookup from many goroutines against the
+	// sequential answers. Pooled scratch is recycled across goroutines and
+	// queries here, so any aliasing bug (a buffer shared by two in-flight
+	// lookups, or state leaking between consecutive queries on one worker)
+	// shows up as a diverging result.
+	queries := make([]string, 32)
+	for i := range queries {
+		queries[i] = g.Entities[i*7%len(g.Entities)].Label
+	}
+	seqLookup := make([][]lookup.Candidate, len(queries))
+	for i, s := range queries {
+		seqLookup[i] = e.Lookup(s, 10)
+	}
+	seqBulk := e.BulkLookup(queries, 5, 1)
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 16)
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for iter := 0; iter < 10; iter++ {
+				qi := (w*10 + iter) % len(queries)
+				got := e.Lookup(queries[qi], 10)
+				if len(got) != len(seqLookup[qi]) {
+					errc <- fmt.Errorf("concurrent Lookup(%q) returned %d candidates, want %d",
+						queries[qi], len(got), len(seqLookup[qi]))
+					return
+				}
+				for j := range got {
+					if got[j] != seqLookup[qi][j] {
+						errc <- fmt.Errorf("concurrent Lookup(%q) diverges at %d: %+v vs %+v",
+							queries[qi], j, got[j], seqLookup[qi][j])
+						return
+					}
+				}
+			}
+			// Nested parallel bulk from concurrent callers.
+			bulk := e.BulkLookup(queries, 5, 4)
+			for i := range bulk {
+				if len(bulk[i]) != len(seqBulk[i]) {
+					errc <- fmt.Errorf("concurrent BulkLookup length diverges for %q", queries[i])
+					return
+				}
+				for j := range bulk[i] {
+					if bulk[i][j] != seqBulk[i][j] {
+						errc <- fmt.Errorf("concurrent BulkLookup diverges for %q at %d", queries[i], j)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
 	}
 }
 

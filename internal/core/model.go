@@ -1,9 +1,6 @@
 package core
 
 import (
-	"runtime"
-	"sync"
-
 	"emblookup/internal/charenc"
 	"emblookup/internal/index"
 	"emblookup/internal/kg"
@@ -11,6 +8,7 @@ import (
 	"emblookup/internal/mathx"
 	"emblookup/internal/ngram"
 	"emblookup/internal/nn"
+	"emblookup/internal/par"
 )
 
 // EmbLookup is a trained lookup service: the embedding model plus the
@@ -62,77 +60,44 @@ func (e *EmbLookup) IndexEmbed(s string) []float32 {
 	return e.embed(s, false)
 }
 
+// embed is the allocation-tolerant embedding wrapper: it checks scratch out
+// of the pool and copies the result so the caller owns it.
 func (e *EmbLookup) embed(s string, useMention bool) []float32 {
-	sub, mention := e.sem.EmbedParts(s)
-	if !e.cfg.MentionSlot {
-		mention = nil
-	} else if !useMention {
-		for i := range mention {
-			mention[i] = 0
-		}
-	}
-	var syn []float32
-	if e.cnn != nil {
-		syn = e.cnn.ApplyIdx(trimIdx(e.enc.EncodeIndexes(s)))
-	}
-	joint := make([]float32, 0, len(syn)+len(sub)+len(mention))
-	joint = append(joint, syn...)
-	joint = append(joint, sub...)
-	joint = append(joint, mention...)
-	return e.mlp.Apply(joint)
+	sc := getScratch()
+	defer putScratch(sc)
+	return append([]float32(nil), e.embedInto(sc, s, useMention)...)
 }
 
 // Lookup embeds q and returns the k nearest entities. Scores are negated
 // squared distances so that higher is better, matching lookup.Candidate.
+// It is a thin wrapper over the scratch path, so steady-state calls only
+// allocate the returned candidates.
 func (e *EmbLookup) Lookup(q string, k int) []lookup.Candidate {
-	if k <= 0 {
-		return nil
-	}
-	// Over-fetch when alias rows can collapse onto one entity.
-	fetch := k
-	if e.cfg.IndexAliases {
-		fetch = k * 3
-	}
-	res := e.ix.Search(e.Embed(q), fetch)
-	cands := make([]lookup.Candidate, len(res))
-	for i, r := range res {
-		cands[i] = lookup.Candidate{ID: e.rows[r.ID], Score: -float64(r.Dist)}
-	}
-	return lookup.DedupeTopK(cands, k)
+	sc := getScratch()
+	defer putScratch(sc)
+	return e.lookupInto(sc, q, k)
 }
 
 // BulkLookup embeds and searches a query batch with `parallelism`
 // goroutines (≤0 = all cores — the reproduction's GPU mode, see DESIGN.md).
+// Every worker owns one Scratch for the whole batch, amortizing all working
+// memory to zero allocations per query.
 func (e *EmbLookup) BulkLookup(queries []string, k, parallelism int) [][]lookup.Candidate {
-	if parallelism <= 0 {
-		parallelism = runtime.GOMAXPROCS(0)
-	}
-	if parallelism > len(queries) {
-		parallelism = len(queries)
-	}
 	out := make([][]lookup.Candidate, len(queries))
-	if parallelism <= 1 {
-		for i, q := range queries {
-			out[i] = e.Lookup(q, k)
+	scratches := make([]*Scratch, par.Workers(len(queries), parallelism))
+	par.ForEachWorker(len(queries), parallelism, func(w, i int) {
+		sc := scratches[w]
+		if sc == nil {
+			sc = getScratch()
+			scratches[w] = sc
 		}
-		return out
+		out[i] = e.lookupInto(sc, queries[i], k)
+	})
+	for _, sc := range scratches {
+		if sc != nil {
+			putScratch(sc)
+		}
 	}
-	var wg sync.WaitGroup
-	idx := make(chan int, len(queries))
-	for i := range queries {
-		idx <- i
-	}
-	close(idx)
-	for w := 0; w < parallelism; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				out[i] = e.Lookup(queries[i], k)
-			}
-		}()
-	}
-	wg.Wait()
 	return out
 }
 
@@ -149,35 +114,22 @@ func (e *EmbLookup) IndexEmbedAll(strs []string, parallelism int) [][]float32 {
 }
 
 func (e *EmbLookup) embedAll(strs []string, parallelism int, useMention bool) [][]float32 {
-	if parallelism <= 0 {
-		parallelism = runtime.GOMAXPROCS(0)
-	}
 	out := make([][]float32, len(strs))
-	if parallelism <= 1 || len(strs) < 2 {
-		for i, s := range strs {
-			out[i] = e.embed(s, useMention)
+	scratches := make([]*Scratch, par.Workers(len(strs), parallelism))
+	par.ForEachWorker(len(strs), parallelism, func(w, i int) {
+		sc := scratches[w]
+		if sc == nil {
+			sc = getScratch()
+			scratches[w] = sc
 		}
-		return out
+		// The embedding outlives the scratch: copy it out.
+		out[i] = append([]float32(nil), e.embedInto(sc, strs[i], useMention)...)
+	})
+	for _, sc := range scratches {
+		if sc != nil {
+			putScratch(sc)
+		}
 	}
-	var wg sync.WaitGroup
-	idx := make(chan int, len(strs))
-	for i := range strs {
-		idx <- i
-	}
-	close(idx)
-	if parallelism > len(strs) {
-		parallelism = len(strs)
-	}
-	for w := 0; w < parallelism; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				out[i] = e.embed(strs[i], useMention)
-			}
-		}()
-	}
-	wg.Wait()
 	return out
 }
 

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"sync"
+
+	"emblookup/internal/index"
+	"emblookup/internal/kg"
+	"emblookup/internal/lookup"
+	"emblookup/internal/mathx"
+	"emblookup/internal/ngram"
+	"emblookup/internal/nn"
+)
+
+// Scratch is the per-worker working memory of one lookup: the character
+// index buffer, the CNN/MLP activation scratch, the n-gram feature scratch,
+// the subword/mention accumulators, the joint input vector, the index
+// search scratch, and the dedupe set. Every buffer grows on demand and is
+// retained across queries, so a worker that owns a Scratch answers queries
+// with only the result slices allocated. The zero value is ready to use; a
+// Scratch must not be used concurrently.
+type Scratch struct {
+	idx     []int
+	nn      nn.Scratch
+	ng      ngram.Scratch
+	sub     []float32
+	mention []float32
+	joint   []float32
+	ix      index.Scratch
+	seen    map[kg.EntityID]bool
+}
+
+// Scratch sizes depend only on model configuration and every buffer grows
+// on demand, so one process-wide pool serves all models.
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+func getScratch() *Scratch  { return scratchPool.Get().(*Scratch) }
+func putScratch(s *Scratch) { scratchPool.Put(s) }
+
+// embedInto is the embedding forward pass with all working memory taken
+// from sc. The returned vector is owned by sc and valid until its next use.
+func (e *EmbLookup) embedInto(sc *Scratch, s string, useMention bool) []float32 {
+	dim := e.sem.Dim
+	sc.sub = mathx.Resize(sc.sub, dim)
+	sc.mention = mathx.Resize(sc.mention, dim)
+	e.sem.EmbedPartsInto(&sc.ng, s, sc.sub, sc.mention)
+	mention := sc.mention
+	if !e.cfg.MentionSlot {
+		mention = nil
+	} else if !useMention {
+		for i := range mention {
+			mention[i] = 0
+		}
+	}
+	var syn []float32
+	if e.cnn != nil {
+		sc.idx = e.enc.EncodeIndexesInto(s, sc.idx)
+		syn = e.cnn.ApplyIdxInto(trimIdx(sc.idx), &sc.nn)
+	}
+	joint := sc.joint[:0]
+	joint = append(joint, syn...)
+	joint = append(joint, sc.sub...)
+	joint = append(joint, mention...)
+	sc.joint = joint
+	return e.mlp.ApplyInto(joint, &sc.nn)
+}
+
+// lookupInto is Lookup with all working memory taken from sc. Only the
+// returned candidate slice is allocated.
+func (e *EmbLookup) lookupInto(sc *Scratch, q string, k int) []lookup.Candidate {
+	if k <= 0 {
+		return nil
+	}
+	// Over-fetch when alias rows can collapse onto one entity.
+	fetch := k
+	if e.cfg.IndexAliases {
+		fetch = k * 3
+	}
+	emb := e.embedInto(sc, q, true)
+	var res []index.Result
+	if ss, ok := e.ix.(index.ScratchSearcher); ok {
+		res = ss.SearchWith(&sc.ix, emb, fetch)
+	} else {
+		res = e.ix.Search(emb, fetch)
+	}
+	// Dedupe with the scratch-owned seen set — same semantics as
+	// lookup.DedupeTopK over the converted candidate list, without the
+	// intermediate slice and map allocations.
+	if sc.seen == nil {
+		sc.seen = make(map[kg.EntityID]bool, fetch)
+	} else {
+		clear(sc.seen)
+	}
+	out := make([]lookup.Candidate, 0, min(k, len(res)))
+	for _, r := range res {
+		id := e.rows[r.ID]
+		if sc.seen[id] {
+			continue
+		}
+		sc.seen[id] = true
+		out = append(out, lookup.Candidate{ID: id, Score: -float64(r.Dist)})
+		if len(out) == k {
+			break
+		}
+	}
+	return out
+}

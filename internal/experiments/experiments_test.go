@@ -70,8 +70,10 @@ func TestTableIIShape(t *testing.T) {
 		fOrig := cell(t, row[6])
 		fEL := cell(t, row[7])
 		// Remote-backed systems must show the order-of-magnitude speedup
-		// the paper reports.
-		if (system == "bbw" || system == "JenTab") && spCPU < 50 {
+		// the paper reports. Skipped under -race: the detector slows the
+		// in-process lookup ~15× while the simulated remote latency stays
+		// wall-clock, so the ratio is only meaningful in normal builds.
+		if !raceEnabled && (system == "bbw" || system == "JenTab") && spCPU < 50 {
 			t.Errorf("%s speedup %v, want >> 1 (remote latency)", system, spCPU)
 		}
 		// Accuracy must be close to the original (paper: within 0.03; the
@@ -109,8 +111,10 @@ func TestTableVShape(t *testing.T) {
 		byName[row[0]] = row
 	}
 	// Remote services must be orders of magnitude slower than EmbLookup.
+	// Skipped under -race (see TestTableIIShape): the wall-clock remote
+	// latency doesn't slow with the detector, so the ratio collapses.
 	for _, name := range []string{"wikidata-api", "searx-api"} {
-		if sp := cell(t, byName[name][1]); sp < 50 {
+		if sp := cell(t, byName[name][1]); !raceEnabled && sp < 50 {
 			t.Errorf("%s speedup = %v, want >> 1", name, sp)
 		}
 	}

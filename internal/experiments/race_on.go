@@ -1,0 +1,10 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the binary was built with the race
+// detector. Wall-clock speedup assertions are gated on it: the detector
+// slows in-process code by an order of magnitude while the simulated
+// remote latencies stay wall-clock, so speedup ratios measured under
+// -race say nothing about the unsanitized build.
+const raceEnabled = true

@@ -8,11 +8,10 @@
 package index
 
 import (
-	"runtime"
-	"sort"
-	"sync"
+	"slices"
 
 	"emblookup/internal/mathx"
+	"emblookup/internal/par"
 )
 
 // Result is one nearest neighbor: the row id of the stored vector and its
@@ -36,37 +35,32 @@ type Index interface {
 }
 
 // BatchSearch runs Search for every query using `parallelism` goroutines
-// (≤0 means GOMAXPROCS). Results align with the query order.
+// (≤0 means GOMAXPROCS). Results align with the query order. When the index
+// supports it, every worker owns one Scratch for the whole batch, so the
+// scan's working memory is amortized to zero allocations per query.
 func BatchSearch(ix Index, queries [][]float32, k, parallelism int) [][]Result {
-	if parallelism <= 0 {
-		parallelism = runtime.GOMAXPROCS(0)
-	}
-	if parallelism > len(queries) {
-		parallelism = len(queries)
-	}
 	out := make([][]Result, len(queries))
-	if parallelism <= 1 {
-		for i, q := range queries {
-			out[i] = ix.Search(q, k)
-		}
+	ss, ok := ix.(ScratchSearcher)
+	if !ok {
+		par.ForEach(len(queries), parallelism, func(i int) {
+			out[i] = ix.Search(queries[i], k)
+		})
 		return out
 	}
-	var wg sync.WaitGroup
-	next := make(chan int, len(queries))
-	for i := range queries {
-		next <- i
+	scratches := make([]*Scratch, par.Workers(len(queries), parallelism))
+	par.ForEachWorker(len(queries), parallelism, func(w, i int) {
+		s := scratches[w]
+		if s == nil {
+			s = GetScratch()
+			scratches[w] = s
+		}
+		out[i] = ss.SearchWith(s, queries[i], k)
+	})
+	for _, s := range scratches {
+		if s != nil {
+			PutScratch(s)
+		}
 	}
-	close(next)
-	for w := 0; w < parallelism; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				out[i] = ix.Search(queries[i], k)
-			}
-		}()
-	}
-	wg.Wait()
 	return out
 }
 
@@ -77,6 +71,13 @@ type topK struct {
 }
 
 func newTopK(k int) *topK { return &topK{k: k} }
+
+// reset prepares a reused topK for a fresh search, keeping the heap's
+// backing array.
+func (t *topK) reset(k int) {
+	t.k = k
+	t.heap = t.heap[:0]
+}
 
 func (t *topK) push(id int32, dist float32) {
 	if len(t.heap) < t.k {
@@ -129,16 +130,36 @@ func (t *topK) down(i int) {
 	}
 }
 
-// sorted extracts the results nearest-first.
+// sorted extracts the results nearest-first into a fresh slice.
 func (t *topK) sorted() []Result {
-	out := append([]Result(nil), t.heap...)
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].Dist != out[b].Dist {
-			return out[a].Dist < out[b].Dist
+	return t.appendSorted(nil)
+}
+
+// appendSorted extracts the results nearest-first into dst[:0], reusing its
+// backing array when possible.
+func (t *topK) appendSorted(dst []Result) []Result {
+	if dst == nil {
+		dst = make([]Result, 0, len(t.heap))
+	}
+	dst = append(dst[:0], t.heap...)
+	sortResults(dst)
+	return dst
+}
+
+func sortResults(rs []Result) {
+	slices.SortFunc(rs, func(a, b Result) int {
+		switch {
+		case a.Dist < b.Dist:
+			return -1
+		case a.Dist > b.Dist:
+			return 1
+		case a.ID < b.ID:
+			return -1
+		case a.ID > b.ID:
+			return 1
 		}
-		return out[a].ID < out[b].ID
+		return 0
 	})
-	return out
 }
 
 // Flat is the exact brute-force index: it stores the raw vectors and scans
@@ -161,12 +182,21 @@ func (f *Flat) Dim() int { return f.data.Cols }
 // SizeBytes returns the raw float storage cost.
 func (f *Flat) SizeBytes() int { return f.data.Rows * f.data.Cols * 4 }
 
-// Search scans every stored vector.
+// Search scans every stored vector. It is a thin wrapper over SearchWith
+// with pooled scratch, so steady-state calls only allocate the result.
 func (f *Flat) Search(q []float32, k int) []Result {
+	s := GetScratch()
+	defer PutScratch(s)
+	return f.SearchWith(s, q, k)
+}
+
+// SearchWith implements ScratchSearcher: the top-k heap is reused from s.
+func (f *Flat) SearchWith(s *Scratch, q []float32, k int) []Result {
 	if k <= 0 {
 		return nil
 	}
-	t := newTopK(k)
+	t := &s.res
+	t.reset(k)
 	for i := 0; i < f.data.Rows; i++ {
 		t.push(int32(i), mathx.SquaredL2(q, f.data.Row(i)))
 	}

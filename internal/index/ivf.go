@@ -113,18 +113,30 @@ func (ix *IVF) SizeBytes() int {
 	return ix.n * ix.pq.M
 }
 
-// Search probes the nprobe nearest coarse lists.
+// Search probes the nprobe nearest coarse lists. It is a thin wrapper over
+// SearchWith with pooled scratch.
 func (ix *IVF) Search(q []float32, k int) []Result {
+	s := GetScratch()
+	defer PutScratch(s)
+	return ix.SearchWith(s, q, k)
+}
+
+// SearchWith implements ScratchSearcher: the probe ranking, residual
+// vector, ADC table, and top-k heap are all reused from s.
+func (ix *IVF) SearchWith(s *Scratch, q []float32, k int) []Result {
 	if k <= 0 {
 		return nil
 	}
 	// Rank coarse centroids.
-	probes := newTopK(ix.nprobe)
+	probes := &s.probes
+	probes.reset(ix.nprobe)
 	for c := 0; c < ix.coarse.Rows; c++ {
 		probes.push(int32(c), mathx.SquaredL2(q, ix.coarse.Row(c)))
 	}
-	t := newTopK(k)
-	for _, pr := range probes.sorted() {
+	s.probeBuf = probes.appendSorted(s.probeBuf)
+	t := &s.res
+	t.reset(k)
+	for _, pr := range s.probeBuf {
 		li := int(pr.ID)
 		if ix.pq == nil {
 			for _, id := range ix.lists[li] {
@@ -133,8 +145,15 @@ func (ix *IVF) Search(q []float32, k int) []Result {
 			continue
 		}
 		// ADC on residual: table built from (q − centroid).
-		res := mathx.Sub(q, ix.coarse.Row(li))
-		table := ix.pq.ADCTable(res)
+		res := mathx.Resize(s.residual, ix.dim)
+		s.residual = res
+		cRow := ix.coarse.Row(li)
+		for j := range res {
+			res[j] = q[j] - cRow[j]
+		}
+		s.table = mathx.Resize(s.table, ix.pq.M*ix.pq.Ks)
+		ix.pq.ADCTableInto(res, s.table)
+		table := s.table
 		m, ks := ix.pq.M, ix.pq.Ks
 		buf := ix.codes[li]
 		for j, id := range ix.lists[li] {

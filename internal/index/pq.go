@@ -41,15 +41,85 @@ func (ix *PQ) SizeBytes() int { return len(ix.codes) }
 // Quantizer exposes the trained product quantizer.
 func (ix *PQ) Quantizer() *quant.ProductQuantizer { return ix.pq }
 
-// Search builds the ADC table for q once and scans all codes.
+// Search builds the ADC table for q once and scans all codes. It is a thin
+// wrapper over SearchWith with pooled scratch, so steady-state calls
+// allocate nothing but the result slice.
 func (ix *PQ) Search(q []float32, k int) []Result {
+	s := GetScratch()
+	defer PutScratch(s)
+	return ix.SearchWith(s, q, k)
+}
+
+// SearchWith implements ScratchSearcher: the ADC table, top-k heap, and
+// block distance strip are reused from s, and the codes are walked with the
+// blocked scan.
+func (ix *PQ) SearchWith(s *Scratch, q []float32, k int) []Result {
 	if k <= 0 {
 		return nil
 	}
-	table := ix.pq.ADCTable(q)
-	t := newTopK(k)
-	m := ix.pq.M
-	ks := ix.pq.Ks
+	s.table = mathx.Resize(s.table, ix.pq.M*ix.pq.Ks)
+	ix.pq.ADCTableInto(q, s.table)
+	t := &s.res
+	t.reset(k)
+	ix.scanBlocked(s.table, t, &s.dists)
+	return t.sorted()
+}
+
+// scanBlock is the number of codes one blocked-scan strip covers. At the
+// paper's M=8 a strip is 2 KB of codes plus a 1 KB distance buffer — both
+// resident in L1 while each sub-quantizer's 256-entry table row is swept
+// across the strip.
+const scanBlock = 256
+
+// scanBlocked walks the code matrix in strips of scanBlock codes. Within a
+// strip the first half of the sub-quantizers is accumulated column-wise
+// (one table row swept over all codes of the strip, the cache-friendly
+// order), then each code finishes row-wise with an early-abandon check: a
+// partial distance already at or above the current k-th best can never
+// enter the heap, because table entries are non-negative. Per-code
+// additions happen in the same sub-quantizer order as scanPlain, so results
+// are bit-identical.
+func (ix *PQ) scanBlocked(table []float32, t *topK, dists *[scanBlock]float32) {
+	m, ks, n := ix.pq.M, ix.pq.Ks, ix.n
+	mh := m / 2
+	for base := 0; base < n; base += scanBlock {
+		bn := scanBlock
+		if base+bn > n {
+			bn = n - base
+		}
+		codes := ix.codes[base*m : (base+bn)*m]
+		for i := 0; i < bn; i++ {
+			dists[i] = 0
+		}
+		for j := 0; j < mh; j++ {
+			row := table[j*ks : (j+1)*ks]
+			for i := 0; i < bn; i++ {
+				dists[i] += row[codes[i*m+j]]
+			}
+		}
+		// worst only shrinks as pushes land, so an abandon decision made
+		// against a stale bound stays valid.
+		w := t.worst()
+		for i := 0; i < bn; i++ {
+			d := dists[i]
+			if d >= w {
+				continue
+			}
+			code := codes[i*m : (i+1)*m]
+			for j := mh; j < m; j++ {
+				d += table[j*ks+int(code[j])]
+			}
+			t.push(int32(base+i), d)
+			w = t.worst()
+		}
+	}
+}
+
+// scanPlain is the straightforward one-code-at-a-time ADC scan. It is the
+// reference the blocked scan is tested against and the shape of the
+// original implementation.
+func (ix *PQ) scanPlain(table []float32, t *topK) {
+	m, ks := ix.pq.M, ix.pq.Ks
 	for i := 0; i < ix.n; i++ {
 		code := ix.codes[i*m : (i+1)*m]
 		var d float32
@@ -58,7 +128,6 @@ func (ix *PQ) Search(q []float32, k int) []Result {
 		}
 		t.push(int32(i), d)
 	}
-	return t.sorted()
 }
 
 // Reconstruct decodes the stored approximation of vector id.

@@ -8,11 +8,10 @@
 package lookup
 
 import (
-	"runtime"
-	"sync"
 	"time"
 
 	"emblookup/internal/kg"
+	"emblookup/internal/par"
 )
 
 // Candidate is one retrieved entity with a service-specific relevance score
@@ -35,35 +34,10 @@ type Service interface {
 // GOMAXPROCS — the "GPU mode" of the reproduction; 1 reproduces the
 // sequential CPU mode). Results align with the query order.
 func Bulk(s Service, queries []string, k, parallelism int) [][]Candidate {
-	if parallelism <= 0 {
-		parallelism = runtime.GOMAXPROCS(0)
-	}
-	if parallelism > len(queries) {
-		parallelism = len(queries)
-	}
 	out := make([][]Candidate, len(queries))
-	if parallelism <= 1 {
-		for i, q := range queries {
-			out[i] = s.Lookup(q, k)
-		}
-		return out
-	}
-	idx := make(chan int, len(queries))
-	for i := range queries {
-		idx <- i
-	}
-	close(idx)
-	var wg sync.WaitGroup
-	for w := 0; w < parallelism; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				out[i] = s.Lookup(queries[i], k)
-			}
-		}()
-	}
-	wg.Wait()
+	par.ForEach(len(queries), parallelism, func(i int) {
+		out[i] = s.Lookup(queries[i], k)
+	})
 	return out
 }
 

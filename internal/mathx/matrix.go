@@ -56,6 +56,17 @@ func (m *Matrix) MatVec(x []float32) []float32 {
 	return out
 }
 
+// MatVecInto computes out = m · x into the provided out (length m.Rows),
+// avoiding the per-call allocation of MatVec.
+func (m *Matrix) MatVecInto(x, out []float32) {
+	if len(x) != m.Cols || len(out) != m.Rows {
+		panic(fmt.Sprintf("mathx: MatVecInto shape mismatch %d,%d vs %dx%d", len(x), len(out), m.Rows, m.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		out[i] = Dot(m.Row(i), x)
+	}
+}
+
 // MatVecT computes out = mᵀ · x for a vector x of length m.Rows, returning a
 // vector of length m.Cols.
 func (m *Matrix) MatVecT(x []float32) []float32 {

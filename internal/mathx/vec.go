@@ -97,6 +97,15 @@ func Mean(vs [][]float32) []float32 {
 	return out
 }
 
+// Resize returns a length-n slice, reusing buf's backing array when its
+// capacity allows. The contents are unspecified; callers overwrite them.
+func Resize(buf []float32, n int) []float32 {
+	if cap(buf) < n {
+		return make([]float32, n)
+	}
+	return buf[:n]
+}
+
 // Clone returns a copy of a.
 func Clone(a []float32) []float32 {
 	out := make([]float32, len(a))

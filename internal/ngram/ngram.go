@@ -10,10 +10,20 @@ package ngram
 
 import (
 	"strings"
+	"unicode/utf8"
 
 	"emblookup/internal/mathx"
 	"emblookup/internal/strutil"
 )
+
+// Scratch holds the reusable buffers of one feature extraction: the bucket
+// list and the padded-token rune buffer. A worker that owns a Scratch runs
+// EmbedPartsInto without allocating. The zero value is ready to use; a
+// Scratch must not be used concurrently.
+type Scratch struct {
+	feats []int
+	runes []rune
+}
 
 // Model is a hashed bag-of-subwords embedding model. Embed is safe for
 // concurrent use once training has finished.
@@ -53,12 +63,41 @@ func NewModel(dim, buckets int, seed uint64) *Model {
 
 // fnv1a hashes s into a bucket index.
 func (m *Model) fnv1a(s string) int {
-	var h uint64 = 14695981039346656037
-	for i := 0; i < len(s); i++ {
-		h ^= uint64(s[i])
-		h *= 1099511628211
+	return int(fnv1aBytes(fnvOffset, s) % uint64(m.Buckets))
+}
+
+// fnv1aTagged hashes tag+s without materializing the concatenation,
+// producing the same bucket as fnv1a(tag + s).
+func (m *Model) fnv1aTagged(tag, s string) int {
+	return int(fnv1aBytes(fnv1aBytes(fnvOffset, tag), s) % uint64(m.Buckets))
+}
+
+// fnv1aRunes hashes the UTF-8 encoding of rs, producing the same bucket as
+// fnv1a(string(rs)) without allocating the string.
+func (m *Model) fnv1aRunes(rs []rune) int {
+	h := uint64(fnvOffset)
+	var buf [utf8.UTFMax]byte
+	for _, r := range rs {
+		n := utf8.EncodeRune(buf[:], r)
+		for i := 0; i < n; i++ {
+			h ^= uint64(buf[i])
+			h *= fnvPrime
+		}
 	}
 	return int(h % uint64(m.Buckets))
+}
+
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+func fnv1aBytes(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return h
 }
 
 // Features returns the bucket indexes of every subword feature of s: padded
@@ -70,7 +109,7 @@ func (m *Model) Features(s string) []int {
 	}
 	feats := m.subwordFeatures(s)
 	if m.MentionHalf {
-		mf := m.fnv1a("MENTION:" + s)
+		mf := m.fnv1aTagged("MENTION:", s)
 		if _, ok := m.known[mf]; ok {
 			n := len(feats)
 			for i := 0; i < n; i++ {
@@ -89,47 +128,77 @@ func (m *Model) Features(s string) []int {
 // present and fall back to subwords when it is zero — which a blended mean
 // cannot offer.
 func (m *Model) EmbedParts(s string) (subword, mention []float32) {
-	norm := strings.ToLower(strings.TrimSpace(s))
+	subword = make([]float32, m.Dim)
 	mention = make([]float32, m.Dim)
+	var sc Scratch
+	m.EmbedPartsInto(&sc, s, subword, mention)
+	return subword, mention
+}
+
+// EmbedPartsInto is EmbedParts writing into the caller's sub and mention
+// buffers (each of length Dim) with all intermediate state taken from sc —
+// the steady-state query path runs it without allocating.
+func (m *Model) EmbedPartsInto(sc *Scratch, s string, sub, mention []float32) {
+	norm := strings.ToLower(strings.TrimSpace(s))
+	for i := range mention {
+		mention[i] = 0
+	}
 	if m.MentionHalf && norm != "" {
-		mf := m.fnv1a("MENTION:" + norm)
+		mf := m.fnv1aTagged("MENTION:", norm)
 		if _, ok := m.known[mf]; ok {
 			copy(mention, m.Table.Row(mf))
 		}
 	}
-	// Subword-only bag: temporarily compute without the mention half.
-	sub := make([]float32, m.Dim)
-	feats := m.subwordFeatures(norm)
+	// Subword-only bag: computed without the mention half.
+	for i := range sub {
+		sub[i] = 0
+	}
+	feats := m.subwordFeaturesInto(sc, norm)
 	if len(feats) == 0 {
-		return sub, mention
+		return
 	}
 	for _, f := range feats {
 		mathx.Axpy(1, m.Table.Row(f), sub)
 	}
 	mathx.Scale(1/float32(len(feats)), sub)
-	return sub, mention
 }
 
 // subwordFeatures is Features without the mention half (s must already be
 // normalized).
 func (m *Model) subwordFeatures(s string) []int {
+	var sc Scratch
+	return m.subwordFeaturesInto(&sc, s)
+}
+
+// subwordFeaturesInto extracts the subword bucket list into sc.feats. The
+// padded token is built in sc.runes and every n-gram is hashed directly
+// from the rune window, so a reused Scratch makes extraction
+// allocation-free (buckets are identical to the string-hashing path).
+func (m *Model) subwordFeaturesInto(sc *Scratch, s string) []int {
+	feats := sc.feats[:0]
 	if s == "" {
+		sc.feats = feats
 		return nil
 	}
-	var feats []int
-	for _, tok := range strutil.Tokenize(s) {
-		padded := "<" + tok + ">"
-		r := []rune(padded)
+	for ts, te := strutil.NextToken(s, 0); ts >= 0; ts, te = strutil.NextToken(s, te) {
+		tok := s[ts:te]
+		r := sc.runes[:0]
+		r = append(r, '<')
+		for _, c := range tok {
+			r = append(r, c)
+		}
+		r = append(r, '>')
+		sc.runes = r
 		for n := m.MinN; n <= m.MaxN; n++ {
 			for i := 0; i+n <= len(r); i++ {
-				feats = append(feats, m.fnv1a(string(r[i:i+n])))
+				feats = append(feats, m.fnv1aRunes(r[i:i+n]))
 			}
 		}
 		w := m.WordWeight
 		if w < 1 {
 			w = 1
 		}
-		wf := m.fnv1a("WORD:" + tok)
+		wf := m.fnv1aTagged("WORD:", tok)
 		for i := 0; i < w; i++ {
 			feats = append(feats, wf)
 		}
@@ -137,6 +206,7 @@ func (m *Model) subwordFeatures(s string) []int {
 	if len(feats) == 0 {
 		feats = append(feats, m.fnv1a(s))
 	}
+	sc.feats = feats
 	return feats
 }
 
@@ -170,7 +240,7 @@ func (m *Model) RegisterMention(s string) {
 		m.known = make(map[int]struct{})
 	}
 	s = strings.ToLower(strings.TrimSpace(s))
-	m.known[m.fnv1a("MENTION:"+s)] = struct{}{}
+	m.known[m.fnv1aTagged("MENTION:", s)] = struct{}{}
 }
 
 // Embed returns the mean of the feature vectors of s — a Dim-length vector.

@@ -49,21 +49,6 @@ type CharCNNCache struct {
 	idx        []int
 }
 
-// Apply is the inference forward pass (concurrent-safe).
-func (m *CharCNN) Apply(x *mathx.Matrix) []float32 {
-	h := x
-	for _, c := range m.Convs {
-		h = c.Apply(h)
-		for i, v := range h.Data {
-			if v < 0 {
-				h.Data[i] = 0
-			}
-		}
-	}
-	out, _ := GlobalMaxPool(h)
-	return out
-}
-
 // Forward computes the pooled embedding and the backward cache.
 func (m *CharCNN) Forward(x *mathx.Matrix) ([]float32, *CharCNNCache) {
 	cache := &CharCNNCache{}

@@ -37,13 +37,21 @@ func (c *Conv1D) Forward(x *mathx.Matrix) (*mathx.Matrix, *ConvCache) {
 }
 
 // Apply is the inference-only forward pass; it reads parameters without
-// mutating any state and is safe for concurrent use. The loops run over
-// contiguous slices (per input channel and kernel tap) so the hot inner
-// loop is a strided multiply-add the compiler keeps in registers.
+// mutating any state and is safe for concurrent use.
 func (c *Conv1D) Apply(x *mathx.Matrix) *mathx.Matrix {
+	y := mathx.NewMatrix(c.Out, x.Cols)
+	c.ApplyInto(x, y)
+	return y
+}
+
+// ApplyInto computes the convolution into y, which must be Out×x.Cols; every
+// element of y is overwritten, so a reused scratch matrix needs no zeroing.
+// The loops run over contiguous slices (per input channel and kernel tap) so
+// the hot inner loop is a strided multiply-add the compiler keeps in
+// registers.
+func (c *Conv1D) ApplyInto(x, y *mathx.Matrix) {
 	L := x.Cols
 	pad := (c.K - 1) / 2
-	y := mathx.NewMatrix(c.Out, L)
 	for o := 0; o < c.Out; o++ {
 		yr := y.Row(o)
 		b := c.Bias.W.Data[o]
@@ -74,7 +82,6 @@ func (c *Conv1D) Apply(x *mathx.Matrix) *mathx.Matrix {
 			}
 		}
 	}
-	return y
 }
 
 // Backward accumulates dWeight/dBias and returns dL/dx, with the same
@@ -162,6 +169,21 @@ func GlobalMaxPool(x *mathx.Matrix) ([]float32, []int) {
 		arg[c] = idx
 	}
 	return out, arg
+}
+
+// GlobalMaxPoolInto writes the per-channel max into out (length x.Rows)
+// without the argmax bookkeeping — the inference-only variant.
+func GlobalMaxPoolInto(x *mathx.Matrix, out []float32) {
+	for c := 0; c < x.Rows; c++ {
+		row := x.Row(c)
+		best := row[0]
+		for t := 1; t < len(row); t++ {
+			if row[t] > best {
+				best = row[t]
+			}
+		}
+		out[c] = best
+	}
 }
 
 // GlobalMaxPoolBackward scatters the pooled gradient back to the argmax

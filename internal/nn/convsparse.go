@@ -13,9 +13,16 @@ import "emblookup/internal/mathx"
 // per-position alphabet indexes (-1 marks padding), matching Apply on the
 // equivalent dense matrix.
 func (c *Conv1D) ApplySparseOneHot(idx []int) *mathx.Matrix {
+	y := mathx.NewMatrix(c.Out, len(idx))
+	c.ApplySparseOneHotInto(idx, y)
+	return y
+}
+
+// ApplySparseOneHotInto is ApplySparseOneHot into y, which must be
+// Out×len(idx); every element is overwritten.
+func (c *Conv1D) ApplySparseOneHotInto(idx []int, y *mathx.Matrix) {
 	L := len(idx)
 	pad := (c.K - 1) / 2
-	y := mathx.NewMatrix(c.Out, L)
 	for o := 0; o < c.Out; o++ {
 		w := c.Weight.W.Row(o)
 		b := c.Bias.W.Data[o]
@@ -36,7 +43,6 @@ func (c *Conv1D) ApplySparseOneHot(idx []int) *mathx.Matrix {
 			yr[t] = s
 		}
 	}
-	return y
 }
 
 // BackwardSparseOneHot accumulates dWeight/dBias for a forward pass done
@@ -69,26 +75,6 @@ func (c *Conv1D) BackwardSparseOneHot(idx []int, dy *mathx.Matrix) {
 		}
 		c.Bias.Grad.Data[o] += gb
 	}
-}
-
-// ApplyIdx is the CharCNN inference pass over sparse one-hot indexes.
-func (m *CharCNN) ApplyIdx(idx []int) []float32 {
-	h := m.Convs[0].ApplySparseOneHot(idx)
-	for i, v := range h.Data {
-		if v < 0 {
-			h.Data[i] = 0
-		}
-	}
-	for _, c := range m.Convs[1:] {
-		h = c.Apply(h)
-		for i, v := range h.Data {
-			if v < 0 {
-				h.Data[i] = 0
-			}
-		}
-	}
-	out, _ := GlobalMaxPool(h)
-	return out
 }
 
 // ForwardIdx is the CharCNN training pass over sparse one-hot indexes. The

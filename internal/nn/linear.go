@@ -22,11 +22,18 @@ func (l *Linear) Params() []*Param { return []*Param{l.Weight, l.Bias} }
 
 // Apply is the inference forward pass (concurrent-safe).
 func (l *Linear) Apply(x []float32) []float32 {
-	y := l.Weight.W.MatVec(x)
+	y := make([]float32, l.Out)
+	l.ApplyInto(x, y)
+	return y
+}
+
+// ApplyInto computes y = Wx + b into y (length Out), avoiding the per-call
+// allocation of Apply.
+func (l *Linear) ApplyInto(x, y []float32) {
+	l.Weight.W.MatVecInto(x, y)
 	for i := range y {
 		y[i] += l.Bias.W.Data[i]
 	}
-	return y
 }
 
 // Forward computes y and returns x as the backward cache.
@@ -92,15 +99,12 @@ type MLPCache struct {
 	mask []bool
 }
 
-// Apply is the inference forward pass (concurrent-safe).
+// Apply is the inference forward pass (concurrent-safe). The result is
+// freshly allocated; hot paths use ApplyInto with a worker-owned Scratch.
 func (m *MLP) Apply(x []float32) []float32 {
-	h := m.L1.Apply(x)
-	for i, v := range h {
-		if v < 0 {
-			h[i] = 0
-		}
-	}
-	return m.L2.Apply(h)
+	s := scratchPool.Get().(*Scratch)
+	defer scratchPool.Put(s)
+	return append([]float32(nil), m.ApplyInto(x, s)...)
 }
 
 // Forward computes the output and a cache for Backward.

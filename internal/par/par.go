@@ -1,0 +1,71 @@
+// Package par is the shared parallel-for substrate behind every bulk
+// operation in the repository (index.BatchSearch, lookup.Bulk,
+// core.BulkLookup, core.EmbedAll). It replaces the hand-rolled
+// channel+WaitGroup fan-outs those call sites used to copy-paste, and it
+// exposes the worker identity so callers can give each worker long-lived
+// scratch memory: a worker owns its scratch for the whole loop, which is
+// what amortizes per-query working memory to zero allocations in bulk mode.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers returns the number of goroutines ForEach/ForEachWorker will use
+// for n items at the requested parallelism: ≤0 means GOMAXPROCS, and the
+// result never exceeds n.
+func Workers(n, parallelism int) int {
+	if n <= 0 {
+		return 0
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+	return parallelism
+}
+
+// ForEach runs fn(i) for every i in [0, n) using Workers(n, parallelism)
+// goroutines and returns when all calls have finished. With one worker the
+// calls run inline in index order. fn must be safe for concurrent use when
+// more than one worker runs.
+func ForEach(n, parallelism int, fn func(i int)) {
+	ForEachWorker(n, parallelism, func(_, i int) { fn(i) })
+}
+
+// ForEachWorker is ForEach with the worker identity exposed: fn(w, i) is
+// called with w in [0, Workers(n, parallelism)), and all calls with the same
+// w happen sequentially on one goroutine. Callers exploit this to hand each
+// worker exclusive scratch memory for the lifetime of the loop.
+func ForEachWorker(n, parallelism int, fn func(worker, i int)) {
+	w := Workers(n, parallelism)
+	if w == 0 {
+		return
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for wk := 0; wk < w; wk++ {
+		go func(wk int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(wk, i)
+			}
+		}(wk)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,87 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersClamping(t *testing.T) {
+	cases := []struct {
+		n, parallelism, want int
+	}{
+		{0, 8, 0},
+		{-3, 8, 0},
+		{10, 1, 1},
+		{10, 4, 4},
+		{3, 8, 3},  // parallelism > n clamps to n
+		{5, 0, min(5, runtime.GOMAXPROCS(0))},  // ≤0 means GOMAXPROCS
+		{5, -1, min(5, runtime.GOMAXPROCS(0))},
+	}
+	for _, c := range cases {
+		if got := Workers(c.n, c.parallelism); got != c.want {
+			t.Errorf("Workers(%d, %d) = %d, want %d", c.n, c.parallelism, got, c.want)
+		}
+	}
+}
+
+func TestForEachVisitsEveryIndexOnce(t *testing.T) {
+	for _, p := range []int{0, 1, 3, 100} {
+		const n = 57
+		var counts [n]atomic.Int32
+		ForEach(n, p, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("parallelism %d: index %d visited %d times", p, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachOrderPreservation(t *testing.T) {
+	// Writing out[i] from fn(i) must yield the same result at any
+	// parallelism — the contract every bulk call site relies on.
+	const n = 200
+	want := make([]int, n)
+	ForEach(n, 1, func(i int) { want[i] = 3 * i })
+	for _, p := range []int{0, 2, 8, n + 5} {
+		got := make([]int, n)
+		ForEach(n, p, func(i int) { got[i] = 3 * i })
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("parallelism %d: out[%d] = %d, want %d", p, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestForEachWorkerIdentity(t *testing.T) {
+	const n, p = 64, 4
+	workerOf := make([]int32, n)
+	var active [p]atomic.Int32
+	ForEachWorker(n, p, func(w, i int) {
+		if w < 0 || w >= p {
+			t.Errorf("worker id %d out of range [0,%d)", w, p)
+		}
+		// The same worker id never runs concurrently with itself.
+		if active[w].Add(1) != 1 {
+			t.Errorf("worker %d ran concurrently with itself", w)
+		}
+		workerOf[i] = int32(w)
+		active[w].Add(-1)
+	})
+	for i, w := range workerOf {
+		if w < 0 || w >= p {
+			t.Fatalf("index %d assigned to worker %d", i, w)
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	called := false
+	ForEach(0, 4, func(int) { called = true })
+	ForEachWorker(-1, 4, func(int, int) { called = true })
+	if called {
+		t.Fatal("fn called for empty range")
+	}
+}

@@ -87,6 +87,17 @@ func (pq *ProductQuantizer) Decode(code []byte) []float32 {
 // computation that makes PQ search fast.
 func (pq *ProductQuantizer) ADCTable(query []float32) []float32 {
 	table := make([]float32, pq.M*pq.Ks)
+	pq.ADCTableInto(query, table)
+	return table
+}
+
+// ADCTableInto writes the ADC table into table, which must have length
+// M*Ks. Query paths that reuse a scratch table avoid the per-query
+// allocation that otherwise dominates compressed search.
+func (pq *ProductQuantizer) ADCTableInto(query, table []float32) {
+	if len(table) != pq.M*pq.Ks {
+		panic(fmt.Sprintf("quant: ADC table length %d, want %d", len(table), pq.M*pq.Ks))
+	}
 	for m := 0; m < pq.M; m++ {
 		sub := query[m*pq.Dsub : (m+1)*pq.Dsub]
 		cb := pq.Codebooks[m]
@@ -94,8 +105,12 @@ func (pq *ProductQuantizer) ADCTable(query []float32) []float32 {
 		for c := 0; c < cb.Rows; c++ {
 			table[base+c] = mathx.SquaredL2(sub, cb.Row(c))
 		}
+		// A reused table may hold stale values past the trained centroids;
+		// codes never reference them, but keep the table well-defined.
+		for c := cb.Rows; c < pq.Ks; c++ {
+			table[base+c] = 0
+		}
 	}
-	return table
 }
 
 // ADCDistance returns the approximate squared distance between the query

@@ -6,6 +6,11 @@
 //	GET /bulk  (POST body: one query per line) → NDJSON results
 //	GET /stats                    → index and graph statistics
 //	GET /healthz                  → 200 ok
+//
+// Handlers call the model's concurrency-safe entry points directly:
+// Lookup and BulkLookup pool their working memory per worker (see
+// DESIGN.md "Memory discipline"), so concurrent requests contend only on
+// the scratch pool, not on per-request allocation.
 package server
 
 import (

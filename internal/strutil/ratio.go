@@ -3,6 +3,7 @@ package strutil
 import (
 	"sort"
 	"strings"
+	"unicode/utf8"
 )
 
 // Ratio is the FuzzyWuzzy "simple ratio": normalized Levenshtein similarity
@@ -106,9 +107,39 @@ func WRatio(a, b string) int {
 // Tokenize splits s into lowercase word tokens on any non-letter/digit rune.
 func Tokenize(s string) []string {
 	s = strings.ToLower(s)
-	return strings.FieldsFunc(s, func(r rune) bool {
-		return !isWordRune(r)
-	})
+	var toks []string
+	for ts, te := NextToken(s, 0); ts >= 0; ts, te = NextToken(s, te) {
+		toks = append(toks, s[ts:te])
+	}
+	return toks
+}
+
+// NextToken scans s from byte offset start and returns the byte range
+// [tokStart, tokEnd) of the next token, or (-1, -1) when none remains.
+// Token boundaries match Tokenize, but no slice is allocated, so hot loops
+// (the n-gram feature extractor) can walk tokens without garbage. Unlike
+// Tokenize, s is not lower-cased; callers normalize first.
+func NextToken(s string, start int) (int, int) {
+	i := start
+	for i < len(s) {
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if isWordRune(r) {
+			break
+		}
+		i += size
+	}
+	if i >= len(s) {
+		return -1, -1
+	}
+	end := i
+	for end < len(s) {
+		r, size := utf8.DecodeRuneInString(s[end:])
+		if !isWordRune(r) {
+			break
+		}
+		end += size
+	}
+	return i, end
 }
 
 func isWordRune(r rune) bool {

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# verify.sh — the full pre-merge gate: static checks, build, the test
+# suite under the race detector, and a short run of the allocation
+# benchmarks so hot-path regressions (see DESIGN.md "Memory discipline")
+# surface before review. `make verify` runs this.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+# The experiments suite runs ~10-20x slower under the race detector;
+# give it room beyond the default 10m package timeout.
+go test -race -timeout 60m ./...
+
+echo "== allocation benchmarks (short) =="
+go test -run '^$' -bench 'BenchmarkPQSearch$|BenchmarkLookupAllocs' \
+    -benchmem -benchtime 10x .
+
+echo "verify: OK"
