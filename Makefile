@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench verify
+.PHONY: build test race bench bench-compare verify
 
 build:
 	$(GO) build ./...
@@ -14,7 +14,12 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
+# Regenerate the benchmark snapshots and diff them against the committed
+# BENCH_lookup.json / BENCH_serve.json; fails on >20% timing regressions.
+bench-compare:
+	./scripts/bench_compare.sh
+
 # Full pre-merge gate: vet + build + race-enabled tests + a short pass of
-# the allocation benchmarks guarding the lookup hot path.
+# the allocation and serving benchmarks guarding the lookup hot path.
 verify:
 	./scripts/verify.sh

@@ -1,22 +1,12 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
 	"testing"
 
 	"emblookup/internal/core"
 	"emblookup/internal/kg"
 )
-
-// benchResult is one row of the BENCH_lookup.json snapshot.
-type benchResult struct {
-	Name     string  `json:"name"`
-	NsPerOp  float64 `json:"ns_per_op"`
-	AllocsOp int64   `json:"allocs_per_op"`
-	BytesOp  int64   `json:"bytes_per_op"`
-}
 
 // benchLookup trains a small model and snapshots the allocation profile of
 // the query hot path into a JSON file, so allocation regressions show up in
@@ -69,31 +59,20 @@ func benchLookup(path string, entities int, seed uint64) error {
 		}},
 	}
 
-	var results []benchResult
+	snap := benchSnapshot{Env: captureEnv(entities)}
 	for _, c := range cases {
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			c.fn(b)
 		})
-		res := benchResult{
-			Name:     c.name,
-			NsPerOp:  float64(r.T.Nanoseconds()) / float64(r.N),
-			AllocsOp: r.AllocsPerOp(),
-			BytesOp:  r.AllocedBytesPerOp(),
-		}
-		results = append(results, res)
-		fmt.Printf("%-16s %12.0f ns/op %8d allocs/op %10d B/op\n",
-			res.Name, res.NsPerOp, res.AllocsOp, res.BytesOp)
+		snap.Results = append(snap.Results, benchResult{
+			Name: c.name,
+			Metrics: map[string]float64{
+				"ns_per_op":     float64(r.T.Nanoseconds()) / float64(r.N),
+				"allocs_per_op": float64(r.AllocsPerOp()),
+				"bytes_per_op":  float64(r.AllocedBytesPerOp()),
+			},
+		})
 	}
-
-	buf, err := json.MarshalIndent(results, "", "  ")
-	if err != nil {
-		return err
-	}
-	buf = append(buf, '\n')
-	if err := os.WriteFile(path, buf, 0o644); err != nil {
-		return err
-	}
-	fmt.Printf("wrote %s\n", path)
-	return nil
+	return writeSnapshot(path, snap)
 }

@@ -10,6 +10,13 @@
 // snapshot of the lookup hot path's timing and allocation profile:
 //
 //	benchkg -bench-lookup BENCH_lookup.json [-entities 2000]
+//
+// With -bench-serve it measures the serving substrate (internal/serve):
+// C concurrent clients drive a Zipf-skewed query mix through the sharded
+// index, the query coalescer, and the mention cache, and the snapshot
+// records throughput, tail latency, and cache hit rate:
+//
+//	benchkg -bench-serve BENCH_serve.json [-entities 2000] [-clients 16]
 package main
 
 import (
@@ -35,10 +42,18 @@ func main() {
 	csvDir := flag.String("csv", "", "write every table as a CSV file into this directory")
 	seed := flag.Uint64("seed", 42, "seed")
 	benchPath := flag.String("bench-lookup", "", "train a model and write a lookup benchmark snapshot to this JSON file")
+	benchServePath := flag.String("bench-serve", "", "train a model and write a serving benchmark snapshot to this JSON file")
+	clients := flag.Int("clients", 16, "concurrent clients for -bench-serve")
 	flag.Parse()
 
 	if *benchPath != "" {
 		if err := benchLookup(*benchPath, *entities, *seed); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *benchServePath != "" {
+		if err := benchServe(*benchServePath, *entities, *clients, *seed); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -24,6 +24,7 @@ import (
 
 	"emblookup/internal/core"
 	"emblookup/internal/kg"
+	"emblookup/internal/serve"
 	"emblookup/internal/server"
 )
 
@@ -126,11 +127,20 @@ func max(a, b int) int {
 //
 // responds with a JSON candidate list. This is the "transparent
 // replacement for remote lookup services" deployment shape from the paper.
+// Requests flow through the serving substrate (internal/serve): sharded
+// index scans, query coalescing, and a sharded mention cache — each tunable
+// or disableable via flags, all returning bit-identical results to direct
+// model lookups.
 func cmdServe(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	graphPath := fs.String("graph", "graph.bin", "graph file")
 	modelPath := fs.String("model", "model.bin", "model file")
 	addr := fs.String("addr", ":8080", "listen address")
+	shards := fs.Int("shards", 0, "index scan shards (0 = default 4, 1 = unsharded)")
+	batch := fs.Int("batch", 0, "coalescer max batch size (0 = default 32, negative disables coalescing)")
+	batchWindow := fs.Duration("batch-window", 0, "coalescer flush window (0 = default 200µs)")
+	cacheSize := fs.Int("cache-size", 0, "mention cache entries (0 = default 4096, negative disables the cache)")
+	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	fs.Parse(args)
 
 	g, err := kg.LoadFile(*graphPath)
@@ -141,8 +151,25 @@ func cmdServe(args []string) {
 	if err != nil {
 		log.Fatalf("loading model: %v", err)
 	}
-	log.Printf("serving lookups on %s (graph: %s, %d entities)", *addr, g.Name, len(g.Entities))
-	log.Fatal(http.ListenAndServe(*addr, server.New(g, model).Handler()))
+	sv, err := serve.New(model, serve.Options{
+		Shards:    *shards,
+		MaxBatch:  *batch,
+		Window:    *batchWindow,
+		CacheSize: *cacheSize,
+	})
+	if err != nil {
+		log.Fatalf("serving substrate: %v", err)
+	}
+	defer sv.Close()
+	opts := []server.Option{server.WithServe(sv)}
+	if *pprofOn {
+		opts = append(opts, server.WithPprof())
+		log.Printf("pprof enabled at /debug/pprof/")
+	}
+	st := sv.Stats()
+	log.Printf("serving lookups on %s (graph: %s, %d entities, %d scan shards)",
+		*addr, g.Name, len(g.Entities), st.Shards)
+	log.Fatal(http.ListenAndServe(*addr, server.New(g, model, opts...).Handler()))
 }
 
 func cmdGen(args []string) {

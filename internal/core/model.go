@@ -81,8 +81,14 @@ func (e *EmbLookup) Lookup(q string, k int) []lookup.Candidate {
 // BulkLookup embeds and searches a query batch with `parallelism`
 // goroutines (≤0 = all cores — the reproduction's GPU mode, see DESIGN.md).
 // Every worker owns one Scratch for the whole batch, amortizing all working
-// memory to zero allocations per query.
+// memory to zero allocations per query. When the index plans its own batch
+// execution (index.BatchSearcher — the sharded index scans a batch
+// shard-major), the embed and search stages are split so the whole batch
+// flows through one SearchBatch call; results are identical either way.
 func (e *EmbLookup) BulkLookup(queries []string, k, parallelism int) [][]lookup.Candidate {
+	if bs, ok := e.ix.(index.BatchSearcher); ok && len(queries) > 0 && k > 0 {
+		return e.bulkViaBatch(bs, queries, k, parallelism)
+	}
 	out := make([][]lookup.Candidate, len(queries))
 	scratches := make([]*Scratch, par.Workers(len(queries), parallelism))
 	par.ForEachWorker(len(queries), parallelism, func(w, i int) {
@@ -99,6 +105,48 @@ func (e *EmbLookup) BulkLookup(queries []string, k, parallelism int) [][]lookup.
 		}
 	}
 	return out
+}
+
+// bulkViaBatch is BulkLookup staged for a batch-scheduling index: embed all
+// queries, hand the whole batch to SearchBatch, then dedupe per query.
+func (e *EmbLookup) bulkViaBatch(bs index.BatchSearcher, queries []string, k, parallelism int) [][]lookup.Candidate {
+	fetch := k
+	if e.cfg.IndexAliases {
+		fetch = k * 3
+	}
+	embs := e.EmbedAll(queries, parallelism)
+	res := bs.SearchBatch(embs, fetch, parallelism)
+	out := make([][]lookup.Candidate, len(queries))
+	scratches := make([]*Scratch, par.Workers(len(queries), parallelism))
+	par.ForEachWorker(len(queries), parallelism, func(w, i int) {
+		sc := scratches[w]
+		if sc == nil {
+			sc = getScratch()
+			scratches[w] = sc
+		}
+		out[i] = e.dedupeInto(sc, res[i], k)
+	})
+	for _, sc := range scratches {
+		if sc != nil {
+			putScratch(sc)
+		}
+	}
+	return out
+}
+
+// WithShardedIndex returns a sibling service sharing this model's weights
+// and trained index whose scans fan out across `shards` row ranges
+// (index.Sharded): single queries merge per-shard top-k heaps, batches run
+// shard-major. Results are bit-identical to the unsharded service.
+// parallelism bounds the per-query fan-out (≤0 = GOMAXPROCS).
+func (e *EmbLookup) WithShardedIndex(shards, parallelism int) (*EmbLookup, error) {
+	sh, err := index.NewSharded(e.ix, shards, parallelism)
+	if err != nil {
+		return nil, err
+	}
+	clone := *e
+	clone.ix = sh
+	return &clone, nil
 }
 
 // EmbedAll embeds a list of strings in parallel (query space), preserving

@@ -1,0 +1,32 @@
+package core
+
+// NormalizeMention maps a query string to its cache key: two queries with
+// the same key are guaranteed to produce the same embedding, so a cached
+// lookup result can be served for either. The normalization is exactly the
+// invariance the embedding pipeline provides — ASCII case erasure — and
+// nothing more: charenc matches alphabet characters through an ASCII-only
+// per-rune lowering, and the ngram model lowercases with strings.ToLower
+// (which fixes every ASCII-lowercase string). Anything stronger would serve
+// wrong results: whitespace is part of the CNN alphabet (so trimming is not
+// invariant), and non-ASCII case pairs can encode differently (so Unicode
+// folding is not invariant either).
+func NormalizeMention(s string) string {
+	// Fast path: already free of ASCII uppercase (byte-wise scan is safe on
+	// UTF-8 — continuation bytes are ≥ 0x80).
+	i := 0
+	for ; i < len(s); i++ {
+		if c := s[i]; 'A' <= c && c <= 'Z' {
+			break
+		}
+	}
+	if i == len(s) {
+		return s
+	}
+	b := []byte(s)
+	for ; i < len(b); i++ {
+		if c := b[i]; 'A' <= c && c <= 'Z' {
+			b[i] = c + ('a' - 'A')
+		}
+	}
+	return string(b)
+}

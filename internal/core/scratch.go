@@ -82,11 +82,16 @@ func (e *EmbLookup) lookupInto(sc *Scratch, q string, k int) []lookup.Candidate 
 	} else {
 		res = e.ix.Search(emb, fetch)
 	}
-	// Dedupe with the scratch-owned seen set — same semantics as
-	// lookup.DedupeTopK over the converted candidate list, without the
-	// intermediate slice and map allocations.
+	return e.dedupeInto(sc, res, k)
+}
+
+// dedupeInto converts ranked index results to candidates, collapsing alias
+// rows onto their entity with the scratch-owned seen set — same semantics
+// as lookup.DedupeTopK over the converted candidate list, without the
+// intermediate slice and map allocations.
+func (e *EmbLookup) dedupeInto(sc *Scratch, res []index.Result, k int) []lookup.Candidate {
 	if sc.seen == nil {
-		sc.seen = make(map[kg.EntityID]bool, fetch)
+		sc.seen = make(map[kg.EntityID]bool, len(res))
 	} else {
 		clear(sc.seen)
 	}

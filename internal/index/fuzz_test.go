@@ -1,0 +1,81 @@
+package index
+
+import (
+	"testing"
+
+	"emblookup/internal/mathx"
+	"emblookup/internal/quant"
+)
+
+// FuzzScanEquivalence asserts that every decomposition of the ADC scan —
+// the blocked early-abandoning scan and the sharded per-range scans merged
+// in shard order — returns bit-identical results to the plain per-code
+// loop, for arbitrary code counts, sub-quantizer shapes, k, and shard
+// counts. Distance tables are drawn from a small integer alphabet when
+// tieMod is nonzero, so exact distance ties (the hard case for top-k
+// equivalence) dominate the search space.
+func FuzzScanEquivalence(f *testing.F) {
+	f.Add(uint16(1), uint8(1), uint8(1), uint16(1), uint8(1), uint64(0), uint8(0))
+	f.Add(uint16(300), uint8(8), uint8(31), uint16(10), uint8(4), uint64(7), uint8(3))
+	f.Add(uint16(777), uint8(3), uint8(63), uint16(300), uint8(7), uint64(42), uint8(1))
+	f.Add(uint16(512), uint8(12), uint8(15), uint16(5), uint8(2), uint64(99), uint8(0))
+	f.Fuzz(func(t *testing.T, nRaw uint16, mRaw, ksRaw uint8, kRaw uint16, shardsRaw uint8, seed uint64, tieMod uint8) {
+		n := int(nRaw)%1500 + 1
+		m := int(mRaw)%12 + 1
+		ks := int(ksRaw)%64 + 1
+		k := int(kRaw)%320 + 1
+		shards := int(shardsRaw)%9 + 1
+
+		rng := mathx.NewRNG(seed)
+		table := make([]float32, m*ks)
+		for i := range table {
+			if tieMod == 0 {
+				// Continuous non-negative distances (ties still possible
+				// through summation, just rare).
+				table[i] = rng.Float32()
+			} else {
+				// Tiny integer alphabet: most candidate distances collide.
+				table[i] = float32(rng.Intn(int(tieMod)%4 + 1))
+			}
+		}
+		codes := make([]byte, n*m)
+		for i := range codes {
+			codes[i] = byte(rng.Intn(ks))
+		}
+		ix := &PQ{pq: &quant.ProductQuantizer{D: m, M: m, Ks: ks, Dsub: 1}, codes: codes, n: n}
+
+		plain := newTopK(k)
+		ix.scanPlain(table, plain)
+		want := plain.sorted()
+
+		blocked := newTopK(k)
+		var dists [scanBlock]float32
+		ix.scanBlocked(table, blocked, &dists)
+		got := blocked.sorted()
+		if len(want) != len(got) {
+			t.Fatalf("blocked: %d vs %d results", len(want), len(got))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("blocked diverges at %d: %+v vs %+v", i, want[i], got[i])
+			}
+		}
+
+		sh, err := NewSharded(ix, shards, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := GetScratch()
+		merged := sh.scanMerged(s, table, k)
+		PutScratch(s)
+		if len(want) != len(merged) {
+			t.Fatalf("sharded: %d vs %d results", len(want), len(merged))
+		}
+		for i := range want {
+			if want[i] != merged[i] {
+				t.Fatalf("sharded merge diverges at %d (shards=%d): %+v vs %+v",
+					i, shards, want[i], merged[i])
+			}
+		}
+	})
+}

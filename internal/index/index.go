@@ -34,11 +34,25 @@ type Index interface {
 	SizeBytes() int
 }
 
+// BatchSearcher is implemented by indexes with a batch execution strategy
+// better than query-at-a-time (Sharded scans a batch shard-major for
+// locality); BatchSearch delegates to it when present.
+type BatchSearcher interface {
+	// SearchBatch is BatchSearch with the index's own scheduling. Results
+	// align with the query order and are identical to per-query Search.
+	SearchBatch(queries [][]float32, k, parallelism int) [][]Result
+}
+
 // BatchSearch runs Search for every query using `parallelism` goroutines
 // (≤0 means GOMAXPROCS). Results align with the query order. When the index
 // supports it, every worker owns one Scratch for the whole batch, so the
-// scan's working memory is amortized to zero allocations per query.
+// scan's working memory is amortized to zero allocations per query. Indexes
+// that implement BatchSearcher take over the whole batch with their own
+// scheduling.
 func BatchSearch(ix Index, queries [][]float32, k, parallelism int) [][]Result {
+	if bs, ok := ix.(BatchSearcher); ok {
+		return bs.SearchBatch(queries, k, parallelism)
+	}
 	out := make([][]Result, len(queries))
 	ss, ok := ix.(ScratchSearcher)
 	if !ok {
@@ -64,10 +78,24 @@ func BatchSearch(ix Index, queries [][]float32, k, parallelism int) [][]Result {
 	return out
 }
 
-// topK maintains the k smallest distances seen, as a bounded max-heap.
+// worse reports whether a ranks strictly after b in the canonical result
+// order: larger distance is worse, ties broken toward the larger ID. Because
+// this order is total, the top-k selection is a pure function of the
+// candidate (Dist, ID) multiset — independent of push order — which is what
+// lets the sharded scan merge per-shard heaps and still return bit-identical
+// results to the single full scan (see DESIGN.md §7).
+func worse(a, b Result) bool {
+	if a.Dist != b.Dist {
+		return a.Dist > b.Dist
+	}
+	return a.ID > b.ID
+}
+
+// topK maintains the k canonically-smallest results seen, as a bounded
+// max-heap under the `worse` order.
 type topK struct {
 	k    int
-	heap []Result // max-heap on Dist
+	heap []Result // max-heap under worse()
 }
 
 func newTopK(k int) *topK { return &topK{k: k} }
@@ -80,19 +108,23 @@ func (t *topK) reset(k int) {
 }
 
 func (t *topK) push(id int32, dist float32) {
+	r := Result{ID: id, Dist: dist}
 	if len(t.heap) < t.k {
-		t.heap = append(t.heap, Result{ID: id, Dist: dist})
+		t.heap = append(t.heap, r)
 		t.up(len(t.heap) - 1)
 		return
 	}
-	if dist >= t.heap[0].Dist {
+	if !worse(t.heap[0], r) {
 		return
 	}
-	t.heap[0] = Result{ID: id, Dist: dist}
+	t.heap[0] = r
 	t.down(0)
 }
 
-// worst returns the current k-th distance, or +inf while underfull.
+// worst returns the current k-th distance, or +inf while underfull. A
+// candidate with a strictly larger distance can never enter the heap; one
+// with an equal distance still can (it may win the ID tie-break), so
+// early-abandon checks against worst must be strict.
 func (t *topK) worst() float32 {
 	if len(t.heap) < t.k {
 		return float32(3.4e38)
@@ -103,7 +135,7 @@ func (t *topK) worst() float32 {
 func (t *topK) up(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
-		if t.heap[parent].Dist >= t.heap[i].Dist {
+		if !worse(t.heap[i], t.heap[parent]) {
 			return
 		}
 		t.heap[parent], t.heap[i] = t.heap[i], t.heap[parent]
@@ -116,10 +148,10 @@ func (t *topK) down(i int) {
 	for {
 		l, r := 2*i+1, 2*i+2
 		largest := i
-		if l < n && t.heap[l].Dist > t.heap[largest].Dist {
+		if l < n && worse(t.heap[l], t.heap[largest]) {
 			largest = l
 		}
-		if r < n && t.heap[r].Dist > t.heap[largest].Dist {
+		if r < n && worse(t.heap[r], t.heap[largest]) {
 			largest = r
 		}
 		if largest == i {
@@ -197,10 +229,20 @@ func (f *Flat) SearchWith(s *Scratch, q []float32, k int) []Result {
 	}
 	t := &s.res
 	t.reset(k)
-	for i := 0; i < f.data.Rows; i++ {
+	f.scanRange(q, s, t, 0, f.data.Rows)
+	return t.sorted()
+}
+
+// prepareScan implements rangeScanner: an exact scan needs no per-query
+// precomputation, so the shared state is the query itself.
+func (f *Flat) prepareScan(_ *Scratch, q []float32) []float32 { return q }
+
+// scanRange implements rangeScanner: the brute-force scan restricted to
+// stored rows [lo, hi).
+func (f *Flat) scanRange(q []float32, _ *Scratch, t *topK, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		t.push(int32(i), mathx.SquaredL2(q, f.data.Row(i)))
 	}
-	return t.sorted()
 }
 
 // Reconstruct returns the stored vector for id (shared storage).

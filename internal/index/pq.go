@@ -57,11 +57,10 @@ func (ix *PQ) SearchWith(s *Scratch, q []float32, k int) []Result {
 	if k <= 0 {
 		return nil
 	}
-	s.table = mathx.Resize(s.table, ix.pq.M*ix.pq.Ks)
-	ix.pq.ADCTableInto(q, s.table)
+	table := ix.prepareScan(s, q)
 	t := &s.res
 	t.reset(k)
-	ix.scanBlocked(s.table, t, &s.dists)
+	ix.scanBlocked(table, t, &s.dists)
 	return t.sorted()
 }
 
@@ -71,21 +70,43 @@ func (ix *PQ) SearchWith(s *Scratch, q []float32, k int) []Result {
 // across the strip.
 const scanBlock = 256
 
-// scanBlocked walks the code matrix in strips of scanBlock codes. Within a
-// strip the first half of the sub-quantizers is accumulated column-wise
-// (one table row swept over all codes of the strip, the cache-friendly
-// order), then each code finishes row-wise with an early-abandon check: a
-// partial distance already at or above the current k-th best can never
-// enter the heap, because table entries are non-negative. Per-code
-// additions happen in the same sub-quantizer order as scanPlain, so results
-// are bit-identical.
+// prepareScan implements rangeScanner: the shared per-query scan state is
+// the ADC table, built once into s and read-only thereafter.
+func (ix *PQ) prepareScan(s *Scratch, q []float32) []float32 {
+	s.table = mathx.Resize(s.table, ix.pq.M*ix.pq.Ks)
+	ix.pq.ADCTableInto(q, s.table)
+	return s.table
+}
+
+// scanRange implements rangeScanner: the blocked scan restricted to stored
+// rows [lo, hi).
+func (ix *PQ) scanRange(table []float32, s *Scratch, t *topK, lo, hi int) {
+	ix.scanBlockedRange(table, t, &s.dists, lo, hi)
+}
+
+// scanBlocked walks the full code matrix with the blocked scan.
 func (ix *PQ) scanBlocked(table []float32, t *topK, dists *[scanBlock]float32) {
-	m, ks, n := ix.pq.M, ix.pq.Ks, ix.n
+	ix.scanBlockedRange(table, t, dists, 0, ix.n)
+}
+
+// scanBlockedRange walks the codes of rows [lo, hi) in strips of scanBlock
+// codes. Within a strip the first half of the sub-quantizers is accumulated
+// column-wise (one table row swept over all codes of the strip, the
+// cache-friendly order), then each code finishes row-wise with an
+// early-abandon check: a partial distance already strictly above the current
+// k-th best can never enter the heap, because table entries are
+// non-negative. (The check must be strict: an exact tie can still enter on
+// the canonical ID tie-break.) The heap's selection is a pure function of
+// the candidate (Dist, ID) multiset, so the strip decomposition — and any
+// sharding of [0, n) into ranges — returns bit-identical results to
+// scanPlain.
+func (ix *PQ) scanBlockedRange(table []float32, t *topK, dists *[scanBlock]float32, lo, hi int) {
+	m, ks := ix.pq.M, ix.pq.Ks
 	mh := m / 2
-	for base := 0; base < n; base += scanBlock {
+	for base := lo; base < hi; base += scanBlock {
 		bn := scanBlock
-		if base+bn > n {
-			bn = n - base
+		if base+bn > hi {
+			bn = hi - base
 		}
 		codes := ix.codes[base*m : (base+bn)*m]
 		for i := 0; i < bn; i++ {
@@ -102,7 +123,7 @@ func (ix *PQ) scanBlocked(table []float32, t *topK, dists *[scanBlock]float32) {
 		w := t.worst()
 		for i := 0; i < bn; i++ {
 			d := dists[i]
-			if d >= w {
+			if d > w {
 				continue
 			}
 			code := codes[i*m : (i+1)*m]

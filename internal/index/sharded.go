@@ -1,0 +1,186 @@
+package index
+
+import (
+	"fmt"
+
+	"emblookup/internal/par"
+)
+
+// rangeScanner is implemented by indexes whose scan decomposes into
+// independent scans of contiguous row ranges sharing one per-query
+// preparation: the ADC table for PQ, the query itself for Flat. Because the
+// top-k selection is canonical (see `worse`), scanning [0, n) in one pass
+// and scanning a partition of it then merging the per-range heaps select
+// the same result set.
+type rangeScanner interface {
+	Index
+	// prepareScan computes the state shared read-only by every range scan
+	// of one query, using s for any working memory it retains.
+	prepareScan(s *Scratch, q []float32) []float32
+	// scanRange pushes stored rows [lo, hi) into t, taking per-range
+	// working memory (e.g. the blocked-scan distance strip) from s.
+	scanRange(state []float32, s *Scratch, t *topK, lo, hi int)
+}
+
+// Sharded partitions a PQ or Flat index's stored rows into S contiguous
+// shards. A single query builds its scan state once and fans the scan
+// across shards via par.ForEach, merging the per-shard top-k heaps; a batch
+// runs shard-major (every worker sweeps one shard across all queries), so
+// each shard's codes stay cache-resident while the whole batch crosses
+// them. Both paths return bit-identical results to the wrapped index.
+type Sharded struct {
+	inner       rangeScanner
+	bounds      []int // len shards+1; shard i scans rows [bounds[i], bounds[i+1])
+	parallelism int
+}
+
+// NewSharded wraps inner with S-way sharding. Only indexes whose scan
+// decomposes by row range are supported (PQ and Flat; IVF already
+// partitions by coarse cluster). parallelism bounds the fan-out per
+// query/batch (≤0 means GOMAXPROCS). The inner index is retained, not
+// copied.
+func NewSharded(inner Index, shards, parallelism int) (*Sharded, error) {
+	rs, ok := inner.(rangeScanner)
+	if !ok {
+		return nil, fmt.Errorf("index: %T does not support sharded scans (want *PQ or *Flat)", inner)
+	}
+	if shards <= 0 {
+		return nil, fmt.Errorf("index: shard count must be positive, got %d", shards)
+	}
+	return &Sharded{
+		inner:       rs,
+		bounds:      par.Split(inner.Len(), shards),
+		parallelism: parallelism,
+	}, nil
+}
+
+// Shards returns the number of shards (ranges may be fewer than requested
+// when the index holds fewer rows).
+func (sh *Sharded) Shards() int { return len(sh.bounds) - 1 }
+
+// Len returns the number of stored vectors.
+func (sh *Sharded) Len() int { return sh.inner.Len() }
+
+// Dim returns the vector dimensionality.
+func (sh *Sharded) Dim() int { return sh.inner.Dim() }
+
+// SizeBytes returns the wrapped index's payload cost (sharding adds none).
+func (sh *Sharded) SizeBytes() int { return sh.inner.SizeBytes() }
+
+// Search fans one query's scan across the shards. It is a thin wrapper
+// over SearchWith with pooled scratch.
+func (sh *Sharded) Search(q []float32, k int) []Result {
+	s := GetScratch()
+	defer PutScratch(s)
+	return sh.SearchWith(s, q, k)
+}
+
+// SearchWith implements ScratchSearcher: the scan state and the merge heap
+// are reused from s; every shard checks its own Scratch out of the shared
+// pool for the duration of the fan-out.
+func (sh *Sharded) SearchWith(s *Scratch, q []float32, k int) []Result {
+	if k <= 0 {
+		return nil
+	}
+	state := sh.inner.prepareScan(s, q)
+	return sh.scanMerged(s, state, k)
+}
+
+// scanMerged runs the per-shard scans for one prepared query and merges the
+// per-shard heaps in shard order. The merge is single-threaded and the
+// per-shard heaps are deterministic, so the output does not depend on how
+// the fan-out was scheduled; canonical top-k selection makes it equal to
+// the unsharded scan's output.
+func (sh *Sharded) scanMerged(s *Scratch, state []float32, k int) []Result {
+	ns := sh.Shards()
+	if ns == 0 {
+		return []Result{}
+	}
+	if ns == 1 {
+		t := &s.res
+		t.reset(k)
+		sh.inner.scanRange(state, s, t, sh.bounds[0], sh.bounds[1])
+		return t.sorted()
+	}
+	scratches := make([]*Scratch, ns)
+	par.ForEach(ns, sh.parallelism, func(i int) {
+		ss := GetScratch()
+		scratches[i] = ss
+		t := &ss.res
+		t.reset(k)
+		sh.inner.scanRange(state, ss, t, sh.bounds[i], sh.bounds[i+1])
+	})
+	t := &s.res
+	t.reset(k)
+	for _, ss := range scratches {
+		for _, r := range ss.res.heap {
+			t.push(r.ID, r.Dist)
+		}
+		PutScratch(ss)
+	}
+	return t.sorted()
+}
+
+// SearchBatch implements BatchSearcher: the batch is scanned shard-major.
+// Every query's scan state is prepared once (in parallel), then every
+// worker picks up (shard, query) pairs grouped by shard, so one shard's
+// codes are swept by consecutive tasks while they are cache-hot. Per-query
+// per-shard heaps are merged in shard order at the end, which keeps results
+// identical to per-query Search regardless of scheduling.
+func (sh *Sharded) SearchBatch(queries [][]float32, k, parallelism int) [][]Result {
+	nq := len(queries)
+	out := make([][]Result, nq)
+	if nq == 0 {
+		return out
+	}
+	if k <= 0 {
+		for i := range out {
+			out[i] = nil
+		}
+		return out
+	}
+	ns := sh.Shards()
+	if ns == 0 {
+		for i := range out {
+			out[i] = []Result{}
+		}
+		return out
+	}
+	// Phase 1: per-query scan state (ADC tables), one Scratch per query so
+	// the state stays alive across the whole batch.
+	prep := make([]*Scratch, nq)
+	states := make([][]float32, nq)
+	par.ForEach(nq, parallelism, func(i int) {
+		prep[i] = GetScratch()
+		states[i] = sh.inner.prepareScan(prep[i], queries[i])
+	})
+	// Phase 2: shard-major sweep. Task t = shard t/nq over query t%nq, so
+	// consecutive tasks reuse the same shard's codes.
+	heaps := make([]*Scratch, ns*nq)
+	par.ForEach(ns*nq, parallelism, func(t int) {
+		si, qi := t/nq, t%nq
+		ss := GetScratch()
+		heaps[t] = ss
+		h := &ss.res
+		h.reset(k)
+		sh.inner.scanRange(states[qi], ss, h, sh.bounds[si], sh.bounds[si+1])
+	})
+	// Phase 3: per-query merge in shard order.
+	par.ForEach(nq, parallelism, func(qi int) {
+		t := &prep[qi].res
+		t.reset(k)
+		for si := 0; si < ns; si++ {
+			for _, r := range heaps[si*nq+qi].res.heap {
+				t.push(r.ID, r.Dist)
+			}
+		}
+		out[qi] = t.sorted()
+	})
+	for _, s := range heaps {
+		PutScratch(s)
+	}
+	for _, s := range prep {
+		PutScratch(s)
+	}
+	return out
+}

@@ -13,6 +13,33 @@ import (
 	"sync/atomic"
 )
 
+// Split partitions [0, n) into at most `parts` contiguous, near-equal
+// ranges and returns the boundaries: range i is [b[i], b[i+1]). The first
+// n%parts ranges are one element longer, so sizes differ by at most one.
+// With n < parts only n single-element ranges are produced; parts ≤ 0 is
+// treated as 1. Sharded index scans use this to carve the stored rows into
+// per-shard ranges.
+func Split(n, parts int) []int {
+	if parts <= 0 {
+		parts = 1
+	}
+	if parts > n {
+		parts = n
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	b := make([]int, parts+1)
+	size, rem := n/parts, n%parts
+	for i := 1; i <= parts; i++ {
+		b[i] = b[i-1] + size
+		if i <= rem {
+			b[i]++
+		}
+	}
+	return b
+}
+
 // Workers returns the number of goroutines ForEach/ForEachWorker will use
 // for n items at the requested parallelism: ≤0 means GOMAXPROCS, and the
 // result never exceeds n.

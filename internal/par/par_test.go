@@ -85,3 +85,27 @@ func TestForEachEmpty(t *testing.T) {
 		t.Fatal("fn called for empty range")
 	}
 }
+
+func TestSplit(t *testing.T) {
+	for _, tc := range []struct {
+		n, parts int
+		want     []int
+	}{
+		{10, 3, []int{0, 4, 7, 10}},
+		{10, 1, []int{0, 10}},
+		{3, 8, []int{0, 1, 2, 3}},
+		{0, 4, []int{0, 0}},
+		{7, 0, []int{0, 7}},
+		{6, 3, []int{0, 2, 4, 6}},
+	} {
+		got := Split(tc.n, tc.parts)
+		if len(got) != len(tc.want) {
+			t.Fatalf("Split(%d,%d) = %v, want %v", tc.n, tc.parts, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("Split(%d,%d) = %v, want %v", tc.n, tc.parts, got, tc.want)
+			}
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"emblookup/internal/lookup"
+)
+
+// BulkFunc answers a query batch at one k — core.EmbLookup.BulkLookup with
+// the parallelism bound applied. Each result must equal what a solo lookup
+// of that query would return.
+type BulkFunc func(queries []string, k int) [][]lookup.Candidate
+
+// coalReq is one caller blocked on the micro-batcher.
+type coalReq struct {
+	q  string
+	k  int
+	ch chan []lookup.Candidate
+}
+
+// Coalescer is the query micro-batcher: concurrent Lookup calls collect
+// into a pending batch that is dispatched as one bulk call when it reaches
+// MaxBatch queries or when the oldest pending query has waited Window,
+// whichever comes first. One bulk dispatch amortizes per-query overheads —
+// scratch checkout, scheduling, and (through the sharded index's batch
+// path) shard-major code locality — across every caller in the batch, while
+// each caller still receives exactly the result a solo Lookup would have
+// produced.
+type Coalescer struct {
+	bulk     BulkFunc
+	maxBatch int
+	window   time.Duration
+
+	mu      sync.Mutex
+	pending []coalReq
+	timer   *time.Timer
+	closed  bool
+
+	// Counters, guarded by mu.
+	batches    uint64
+	dispatched uint64
+}
+
+// NewCoalescer builds a micro-batcher over bulk. maxBatch ≤ 0 defaults to
+// 32 queries; window ≤ 0 defaults to 200µs.
+func NewCoalescer(bulk BulkFunc, maxBatch int, window time.Duration) *Coalescer {
+	if maxBatch <= 0 {
+		maxBatch = 32
+	}
+	if window <= 0 {
+		window = 200 * time.Microsecond
+	}
+	return &Coalescer{bulk: bulk, maxBatch: maxBatch, window: window}
+}
+
+// Lookup enqueues one query and blocks until its batch is dispatched and
+// answered. It is safe for concurrent use.
+func (c *Coalescer) Lookup(q string, k int) []lookup.Candidate {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return c.bulk([]string{q}, k)[0]
+	}
+	ch := make(chan []lookup.Candidate, 1)
+	c.pending = append(c.pending, coalReq{q: q, k: k, ch: ch})
+	if len(c.pending) >= c.maxBatch {
+		batch := c.takeLocked()
+		c.mu.Unlock()
+		// The caller that filled the batch dispatches it inline: its own
+		// result is in the batch, so it was going to wait anyway.
+		c.dispatch(batch)
+	} else {
+		if len(c.pending) == 1 {
+			c.timer = time.AfterFunc(c.window, c.flushOnTimer)
+		}
+		c.mu.Unlock()
+	}
+	return <-ch
+}
+
+// takeLocked detaches the pending batch and stops the window timer. The
+// caller must hold mu.
+func (c *Coalescer) takeLocked() []coalReq {
+	batch := c.pending
+	c.pending = nil
+	if c.timer != nil {
+		c.timer.Stop()
+		c.timer = nil
+	}
+	if len(batch) > 0 {
+		c.batches++
+		c.dispatched += uint64(len(batch))
+	}
+	return batch
+}
+
+// flushOnTimer dispatches whatever collected during the window. A batch
+// that already flushed on MaxBatch leaves nothing pending, making this a
+// no-op.
+func (c *Coalescer) flushOnTimer() {
+	c.mu.Lock()
+	batch := c.takeLocked()
+	c.mu.Unlock()
+	c.dispatch(batch)
+}
+
+// dispatch answers every request in the batch with one bulk call per
+// distinct k (one call total in the common uniform-k case) and unblocks the
+// callers.
+func (c *Coalescer) dispatch(batch []coalReq) {
+	if len(batch) == 0 {
+		return
+	}
+	// Group by k preserving arrival order within each group. Almost every
+	// batch has a single k, so scan for that case first.
+	uniform := true
+	for i := 1; i < len(batch); i++ {
+		if batch[i].k != batch[0].k {
+			uniform = false
+			break
+		}
+	}
+	if uniform {
+		c.answer(batch, batch[0].k)
+		return
+	}
+	groups := make(map[int][]coalReq)
+	for _, r := range batch {
+		groups[r.k] = append(groups[r.k], r)
+	}
+	for k, group := range groups {
+		c.answer(group, k)
+	}
+}
+
+// answer runs one bulk call for a same-k group and delivers the results.
+func (c *Coalescer) answer(group []coalReq, k int) {
+	queries := make([]string, len(group))
+	for i, r := range group {
+		queries[i] = r.q
+	}
+	results := c.bulk(queries, k)
+	for i, r := range group {
+		r.ch <- results[i]
+	}
+}
+
+// CoalescerStats is a point-in-time snapshot of the batching counters.
+type CoalescerStats struct {
+	Batches      uint64  `json:"batches"`
+	Queries      uint64  `json:"queries"`
+	AvgBatchSize float64 `json:"avgBatchSize"`
+	MaxBatch     int     `json:"maxBatch"`
+	WindowUs     int64   `json:"windowUs"`
+}
+
+// Stats snapshots the batching counters.
+func (c *Coalescer) Stats() CoalescerStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := CoalescerStats{
+		Batches:  c.batches,
+		Queries:  c.dispatched,
+		MaxBatch: c.maxBatch,
+		WindowUs: c.window.Microseconds(),
+	}
+	if st.Batches > 0 {
+		st.AvgBatchSize = float64(st.Queries) / float64(st.Batches)
+	}
+	return st
+}
+
+// Close flushes any pending batch and makes subsequent Lookup calls bypass
+// batching (solo bulk calls), so no caller can block on a window that will
+// never fill.
+func (c *Coalescer) Close() {
+	c.mu.Lock()
+	c.closed = true
+	batch := c.takeLocked()
+	c.mu.Unlock()
+	c.dispatch(batch)
+}

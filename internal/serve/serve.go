@@ -1,0 +1,189 @@
+// Package serve is the throughput substrate between the HTTP layer and
+// core.EmbLookup — the deployment shape of embedding-as-a-service systems
+// like KGvec2go and Wembedder, where one shared entity index answers heavy
+// concurrent traffic of small lookups. Three cooperating pieces raise
+// throughput without changing any result:
+//
+//   - sharded scans (index.Sharded via core.WithShardedIndex): one query
+//     fans its index scan across S row shards and merges per-shard top-k
+//     heaps; batches sweep shard-major for locality
+//   - query coalescing (Coalescer): concurrent Lookup calls collect into a
+//     micro-batch dispatched as one BulkLookup, amortizing ADC-table
+//     construction and scratch checkout across callers
+//   - a sharded mention cache (MentionCache): table-annotation traffic
+//     repeats the same cell strings constantly, so results are cached under
+//     the embedding-invariant key core.NormalizeMention(q)
+//
+// Every path returns bit-identical candidates to a direct
+// core.EmbLookup.Lookup call (see DESIGN.md §7).
+package serve
+
+import (
+	"time"
+
+	"emblookup/internal/core"
+	"emblookup/internal/lookup"
+)
+
+// Options configures the serving substrate. The zero value enables every
+// piece at defaults; use the negative sentinels to disable pieces.
+type Options struct {
+	// Shards is the index shard count: 0 picks a default (4), 1 keeps the
+	// index unsharded.
+	Shards int
+	// MaxBatch flushes a coalescer batch at this many queries (0 = 32;
+	// negative disables coalescing entirely — every Lookup goes solo).
+	MaxBatch int
+	// Window flushes a non-full coalescer batch this long after its first
+	// query arrived (0 = 200µs).
+	Window time.Duration
+	// CacheSize is the mention cache capacity in entries (0 = 4096;
+	// negative disables the cache).
+	CacheSize int
+	// Parallelism bounds worker fan-out for scans and batches
+	// (≤0 = GOMAXPROCS).
+	Parallelism int
+}
+
+// Serve answers lookups through the cache, the coalescer, and the sharded
+// index. Safe for concurrent use.
+type Serve struct {
+	model *core.EmbLookup
+	cache *MentionCache
+	co    *Coalescer
+	opts  Options
+}
+
+// New builds the serving substrate over a trained model. With
+// opts.Shards > 1 the model's index is wrapped for sharded scans (the model
+// itself is shared, not retrained); PQ and Flat indexes support this, IVF
+// refuses and should be served with Shards = 1.
+func New(model *core.EmbLookup, opts Options) (*Serve, error) {
+	if opts.Shards == 0 {
+		opts.Shards = 4
+	}
+	if opts.CacheSize == 0 {
+		opts.CacheSize = 4096
+	}
+	if opts.Shards > 1 {
+		sharded, err := model.WithShardedIndex(opts.Shards, opts.Parallelism)
+		if err != nil {
+			return nil, err
+		}
+		model = sharded
+	}
+	s := &Serve{model: model, opts: opts}
+	if opts.CacheSize > 0 {
+		s.cache = NewMentionCache(opts.CacheSize)
+	}
+	if opts.MaxBatch >= 0 {
+		bulk := func(queries []string, k int) [][]lookup.Candidate {
+			return model.BulkLookup(queries, k, opts.Parallelism)
+		}
+		s.co = NewCoalescer(bulk, opts.MaxBatch, opts.Window)
+	}
+	return s, nil
+}
+
+// Model returns the model lookups are answered with (the sharded sibling
+// when sharding is enabled).
+func (s *Serve) Model() *core.EmbLookup { return s.model }
+
+// Lookup answers one query: cache first, then the coalesced batch path.
+// Results are bit-identical to model.Lookup(q, k); cached slices are shared
+// across callers and must be treated as read-only.
+func (s *Serve) Lookup(q string, k int) []lookup.Candidate {
+	if k <= 0 {
+		return nil
+	}
+	norm := core.NormalizeMention(q)
+	if s.cache != nil {
+		if res, ok := s.cache.Get(norm, k); ok {
+			return res
+		}
+	}
+	var res []lookup.Candidate
+	if s.co != nil {
+		res = s.co.Lookup(norm, k)
+	} else {
+		res = s.model.Lookup(norm, k)
+	}
+	if s.cache != nil {
+		s.cache.Put(norm, k, res)
+	}
+	return res
+}
+
+// BulkLookup answers an explicit batch: repeated mentions collapse onto one
+// computation, cache hits are served directly, and only the distinct misses
+// reach the model (hand-batched, bypassing the coalescer — the batch is
+// already formed). Results align with the query order and are bit-identical
+// to per-query model.Lookup calls.
+func (s *Serve) BulkLookup(queries []string, k int) [][]lookup.Candidate {
+	out := make([][]lookup.Candidate, len(queries))
+	if len(queries) == 0 || k <= 0 {
+		return out
+	}
+	norms := make([]string, len(queries))
+	hit := make([]bool, len(queries))
+	missIdx := make(map[string]int) // normalized mention -> index into misses
+	var misses []string
+	for i, q := range queries {
+		norms[i] = core.NormalizeMention(q)
+		if s.cache != nil {
+			if res, ok := s.cache.Get(norms[i], k); ok {
+				out[i], hit[i] = res, true
+				continue
+			}
+		}
+		if _, ok := missIdx[norms[i]]; !ok {
+			missIdx[norms[i]] = len(misses)
+			misses = append(misses, norms[i])
+		}
+	}
+	if len(misses) == 0 {
+		return out
+	}
+	results := s.model.BulkLookup(misses, k, s.opts.Parallelism)
+	for j, m := range misses {
+		if s.cache != nil {
+			s.cache.Put(m, k, results[j])
+		}
+	}
+	for i := range queries {
+		if !hit[i] {
+			out[i] = results[missIdx[norms[i]]]
+		}
+	}
+	return out
+}
+
+// Stats is the serving substrate's observability snapshot, exposed by the
+// HTTP server's /stats endpoint.
+type Stats struct {
+	Shards    int             `json:"shards"`
+	Cache     *CacheStats     `json:"cache,omitempty"`
+	Coalescer *CoalescerStats `json:"coalescer,omitempty"`
+}
+
+// Stats snapshots cache and coalescer counters.
+func (s *Serve) Stats() Stats {
+	st := Stats{Shards: s.opts.Shards}
+	if s.cache != nil {
+		cs := s.cache.Stats()
+		st.Cache = &cs
+	}
+	if s.co != nil {
+		co := s.co.Stats()
+		st.Coalescer = &co
+	}
+	return st
+}
+
+// Close flushes the coalescer. The Serve remains usable; subsequent
+// lookups bypass batching.
+func (s *Serve) Close() {
+	if s.co != nil {
+		s.co.Close()
+	}
+}

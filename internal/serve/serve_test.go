@@ -1,0 +1,334 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"emblookup/internal/core"
+	"emblookup/internal/kg"
+	"emblookup/internal/lookup"
+)
+
+var (
+	modelOnce sync.Once
+	tGraph    *kg.Graph
+	tModel    *core.EmbLookup
+	tErr      error
+)
+
+// testModel trains one small model shared by every test in the package.
+func testModel(t *testing.T) (*kg.Graph, *core.EmbLookup) {
+	t.Helper()
+	modelOnce.Do(func() {
+		g, _ := kg.Generate(kg.DefaultGeneratorConfig(kg.WikidataProfile, 200))
+		cfg := core.FastConfig()
+		cfg.Epochs = 2
+		cfg.TripletsPerEntity = 8
+		m, err := core.Train(g, cfg)
+		if err != nil {
+			tErr = err
+			return
+		}
+		tGraph, tModel = g, m
+	})
+	if tErr != nil {
+		t.Fatal(tErr)
+	}
+	return tGraph, tModel
+}
+
+func sameCandidates(t *testing.T, ctx string, want, got []lookup.Candidate) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d vs %d candidates", ctx, len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s: candidate %d diverges: %+v vs %+v", ctx, i, want[i], got[i])
+		}
+	}
+}
+
+func TestMentionCacheBasics(t *testing.T) {
+	c := NewMentionCache(4)
+	val := []lookup.Candidate{{ID: 1, Score: -2}}
+	if _, ok := c.Get("a", 5); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put("a", 5, val)
+	got, ok := c.Get("a", 5)
+	if !ok {
+		t.Fatal("miss after put")
+	}
+	sameCandidates(t, "cache value", val, got)
+	// Different k is a different entry.
+	if _, ok := c.Get("a", 6); ok {
+		t.Fatal("k must be part of the key")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestMentionCacheEviction(t *testing.T) {
+	c := NewMentionCache(1) // single shard, capacity 1
+	c.Put("a", 1, nil)
+	c.Put("b", 1, nil)
+	if _, ok := c.Get("a", 1); ok {
+		t.Fatal("LRU entry should have been evicted")
+	}
+	if _, ok := c.Get("b", 1); !ok {
+		t.Fatal("newest entry evicted")
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d", st.Evictions)
+	}
+}
+
+func TestMentionCacheLRUOrder(t *testing.T) {
+	// Force a single segment of capacity 3 so LRU order is observable:
+	// after touching "a", inserting a fourth entry must evict "b".
+	c := NewMentionCache(1)
+	c.shards[0].capacity = 3
+	for _, m := range []string{"a", "b", "c"} {
+		c.Put(m, 1, []lookup.Candidate{{ID: kg.EntityID(len(m))}})
+	}
+	c.Get("a", 1) // promote the oldest
+	c.Put("d", 1, nil)
+	if _, ok := c.Get("b", 1); ok {
+		t.Fatal("b should have been the LRU victim")
+	}
+	for _, m := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(m, 1); !ok {
+			t.Fatalf("%q evicted unexpectedly", m)
+		}
+	}
+}
+
+func TestCoalescerMatchesSolo(t *testing.T) {
+	var mu sync.Mutex
+	batchSizes := []int{}
+	bulk := func(queries []string, k int) [][]lookup.Candidate {
+		mu.Lock()
+		batchSizes = append(batchSizes, len(queries))
+		mu.Unlock()
+		out := make([][]lookup.Candidate, len(queries))
+		for i, q := range queries {
+			out[i] = []lookup.Candidate{{ID: kg.EntityID(len(q)), Score: float64(k)}}
+		}
+		return out
+	}
+	co := NewCoalescer(bulk, 8, time.Millisecond)
+	var wg sync.WaitGroup
+	results := make([][]lookup.Candidate, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			q := fmt.Sprintf("query-%0*d", i%5, i)
+			results[i] = co.Lookup(q, 3)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < 64; i++ {
+		q := fmt.Sprintf("query-%0*d", i%5, i)
+		want := []lookup.Candidate{{ID: kg.EntityID(len(q)), Score: 3}}
+		sameCandidates(t, "coalesced lookup", want, results[i])
+	}
+	st := co.Stats()
+	if st.Queries != 64 {
+		t.Fatalf("dispatched %d queries", st.Queries)
+	}
+	if st.Batches == 0 || st.Batches > 64 {
+		t.Fatalf("batches = %d", st.Batches)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, n := range batchSizes {
+		if n > 8 {
+			t.Fatalf("batch of %d exceeds MaxBatch", n)
+		}
+	}
+}
+
+func TestCoalescerMixedK(t *testing.T) {
+	bulk := func(queries []string, k int) [][]lookup.Candidate {
+		out := make([][]lookup.Candidate, len(queries))
+		for i := range queries {
+			out[i] = []lookup.Candidate{{ID: kg.EntityID(k)}}
+		}
+		return out
+	}
+	co := NewCoalescer(bulk, 16, 500*time.Microsecond)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			k := 1 + i%3
+			res := co.Lookup("q", k)
+			if len(res) != 1 || res[0].ID != kg.EntityID(k) {
+				t.Errorf("k=%d got %+v", k, res)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestCoalescerWindowFlush(t *testing.T) {
+	bulk := func(queries []string, k int) [][]lookup.Candidate {
+		out := make([][]lookup.Candidate, len(queries))
+		for i := range queries {
+			out[i] = nil
+		}
+		return out
+	}
+	co := NewCoalescer(bulk, 1<<20, 200*time.Microsecond)
+	done := make(chan struct{})
+	go func() {
+		co.Lookup("solo", 1)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("window flush never fired for a lone query")
+	}
+}
+
+func TestCoalescerClose(t *testing.T) {
+	bulk := func(queries []string, k int) [][]lookup.Candidate {
+		return make([][]lookup.Candidate, len(queries))
+	}
+	co := NewCoalescer(bulk, 4, time.Hour) // window never fires on its own
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ { // under MaxBatch: waits on the window
+		wg.Add(1)
+		go func() { defer wg.Done(); co.Lookup("q", 1) }()
+	}
+	time.Sleep(50 * time.Millisecond)
+	co.Close()
+	wg.Wait()
+	// After Close, lookups still answer (solo path).
+	if res := co.Lookup("after", 1); res != nil {
+		t.Fatalf("post-close lookup = %+v", res)
+	}
+}
+
+// TestServeMatchesDirect is the package's core guarantee: every serving
+// path — sharded index, coalesced lookups, cache-cold and cache-warm —
+// returns bit-identical candidates to direct model.Lookup calls.
+func TestServeMatchesDirect(t *testing.T) {
+	g, m := testModel(t)
+	sv, err := New(m, Options{Shards: 3, MaxBatch: 4, Window: 200 * time.Microsecond, CacheSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sv.Close()
+	queries := []string{
+		g.Entities[0].Label,
+		g.Entities[1].Label,
+		"no such entity anywhere",
+		g.Entities[0].Label, // repeat: exercises the cache
+	}
+	for round := 0; round < 2; round++ { // round 1 is fully cache-warm
+		for _, q := range queries {
+			want := m.Lookup(q, 5)
+			got := sv.Lookup(q, 5)
+			sameCandidates(t, fmt.Sprintf("serve round %d %q", round, q), want, got)
+		}
+	}
+	st := sv.Stats()
+	if st.Cache == nil || st.Cache.Hits == 0 {
+		t.Fatalf("expected cache hits, stats = %+v", st)
+	}
+	if st.Shards != 3 {
+		t.Fatalf("shards = %d", st.Shards)
+	}
+}
+
+func TestServeBulkDedupesMentions(t *testing.T) {
+	g, m := testModel(t)
+	sv, err := New(m, Options{Shards: 2, MaxBatch: -1, CacheSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := g.Entities[2].Label, g.Entities[3].Label
+	queries := []string{a, b, a, a, b}
+	got := sv.BulkLookup(queries, 4)
+	for i, q := range queries {
+		sameCandidates(t, fmt.Sprintf("bulk query %d", i), m.Lookup(q, 4), got[i])
+	}
+	// 5 queries, 2 distinct mentions: all probes missed (cold), but only 2
+	// lookups ran; the in-batch duplicates never became cache misses twice.
+	st := sv.Stats()
+	if st.Cache.Misses != 5 || st.Cache.Entries != 2 {
+		t.Fatalf("cache stats = %+v", *st.Cache)
+	}
+	// Second pass: all hits.
+	sv.BulkLookup(queries, 4)
+	if st := sv.Stats(); st.Cache.Hits != 5 {
+		t.Fatalf("warm pass hits = %d", st.Cache.Hits)
+	}
+}
+
+func TestServeCaseNormalization(t *testing.T) {
+	g, m := testModel(t)
+	sv, err := New(m, Options{Shards: 1, MaxBatch: -1, CacheSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := g.Entities[4].Label
+	upper := ""
+	for _, r := range q {
+		if 'a' <= r && r <= 'z' {
+			r -= 'a' - 'A'
+		}
+		upper += string(r)
+	}
+	want := sv.Lookup(q, 3)
+	got := sv.Lookup(upper, 3) // must hit the cache under the normalized key
+	sameCandidates(t, "case-normalized lookup", want, got)
+	if st := sv.Stats(); st.Cache.Hits != 1 {
+		t.Fatalf("expected a cache hit across case variants, stats = %+v", *st.Cache)
+	}
+	// And the normalized result must equal the direct lookup of the
+	// uppercase form (embedding invariance, not just cache aliasing).
+	sameCandidates(t, "embedding case invariance", m.Lookup(upper, 3), want)
+}
+
+func TestServeConcurrent(t *testing.T) {
+	g, m := testModel(t)
+	sv, err := New(m, Options{Shards: 2, MaxBatch: 4, Window: 100 * time.Microsecond, CacheSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sv.Close()
+	queries := make([]string, 8)
+	want := make([][]lookup.Candidate, len(queries))
+	for i := range queries {
+		queries[i] = g.Entities[i].Label
+		want[i] = m.Lookup(queries[i], 5)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				qi := (w + i) % len(queries)
+				got := sv.Lookup(queries[qi], 5)
+				for j := range want[qi] {
+					if got[j] != want[qi][j] {
+						t.Errorf("worker %d query %d diverged", w, qi)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

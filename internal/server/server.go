@@ -4,13 +4,17 @@
 //
 //	GET /lookup?q=<query>&k=<n>   → JSON candidate list
 //	GET /bulk  (POST body: one query per line) → NDJSON results
-//	GET /stats                    → index and graph statistics
+//	GET /stats                    → index, graph, and serving statistics
 //	GET /healthz                  → 200 ok
+//	GET /debug/pprof/...          → profiling (only with WithPprof)
 //
 // Handlers call the model's concurrency-safe entry points directly:
 // Lookup and BulkLookup pool their working memory per worker (see
 // DESIGN.md "Memory discipline"), so concurrent requests contend only on
-// the scratch pool, not on per-request allocation.
+// the scratch pool, not on per-request allocation. With WithServe the
+// request path additionally flows through internal/serve — the sharded
+// mention cache, the query coalescer, and sharded index scans — returning
+// bit-identical results at higher concurrent throughput (DESIGN.md §7).
 package server
 
 import (
@@ -18,11 +22,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"time"
 
 	"emblookup/internal/core"
 	"emblookup/internal/kg"
+	"emblookup/internal/lookup"
+	"emblookup/internal/serve"
 )
 
 // Server routes lookup requests to a model. Create with New and mount via
@@ -30,13 +37,35 @@ import (
 type Server struct {
 	graph *kg.Graph
 	model *core.EmbLookup
+	serve *serve.Serve
+	pprof bool
 	// MaxK bounds the per-request candidate budget.
 	MaxK int
 }
 
+// Option configures a Server at construction.
+type Option func(*Server)
+
+// WithServe routes /lookup and /bulk through the serving substrate (mention
+// cache + query coalescer + sharded scans) instead of calling the model
+// directly, and adds its counters to /stats.
+func WithServe(sv *serve.Serve) Option {
+	return func(s *Server) { s.serve = sv }
+}
+
+// WithPprof mounts net/http/pprof under /debug/pprof/ — off by default so a
+// plain deployment exposes no profiling surface.
+func WithPprof() Option {
+	return func(s *Server) { s.pprof = true }
+}
+
 // New builds a server over a trained model.
-func New(g *kg.Graph, model *core.EmbLookup) *Server {
-	return &Server{graph: g, model: model, MaxK: 1000}
+func New(g *kg.Graph, model *core.EmbLookup, opts ...Option) *Server {
+	s := &Server{graph: g, model: model, MaxK: 1000}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
 }
 
 // Handler returns the HTTP handler with all routes mounted.
@@ -48,7 +77,31 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	if s.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
+}
+
+// lookupOne answers one query through the serving substrate when present.
+func (s *Server) lookupOne(q string, k int) []lookup.Candidate {
+	if s.serve != nil {
+		return s.serve.Lookup(q, k)
+	}
+	return s.model.Lookup(q, k)
+}
+
+// lookupBulk answers a query batch through the serving substrate when
+// present.
+func (s *Server) lookupBulk(queries []string, k int) [][]lookup.Candidate {
+	if s.serve != nil {
+		return s.serve.BulkLookup(queries, k)
+	}
+	return s.model.BulkLookup(queries, k, 0)
 }
 
 // Hit is one JSON result row.
@@ -79,7 +132,7 @@ func (s *Server) parseK(r *http.Request) (int, error) {
 }
 
 func (s *Server) hits(q string, k int) []Hit {
-	res := s.model.Lookup(q, k)
+	res := s.lookupOne(q, k)
 	hits := make([]Hit, len(res))
 	for i, c := range res {
 		e := s.graph.Entity(c.ID)
@@ -133,7 +186,7 @@ func (s *Server) handleBulk(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	results := s.model.BulkLookup(queries, k, 0)
+	results := s.lookupBulk(queries, k)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	enc := json.NewEncoder(w)
 	for i, q := range queries {
@@ -146,25 +199,32 @@ func (s *Server) handleBulk(w http.ResponseWriter, r *http.Request) {
 	_ = start
 }
 
-// StatsResponse is the /stats reply.
+// StatsResponse is the /stats reply. Serving is present only when the
+// server was built with WithServe.
 type StatsResponse struct {
-	Graph      string `json:"graph"`
-	Entities   int    `json:"entities"`
-	IndexRows  int    `json:"indexRows"`
-	IndexBytes int    `json:"indexBytes"`
-	Dim        int    `json:"dim"`
-	Compressed bool   `json:"compressed"`
+	Graph      string       `json:"graph"`
+	Entities   int          `json:"entities"`
+	IndexRows  int          `json:"indexRows"`
+	IndexBytes int          `json:"indexBytes"`
+	Dim        int          `json:"dim"`
+	Compressed bool         `json:"compressed"`
+	Serving    *serve.Stats `json:"serving,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	cfg := s.model.Config()
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(StatsResponse{
+	resp := StatsResponse{
 		Graph:      s.graph.Name,
 		Entities:   len(s.graph.Entities),
 		IndexRows:  s.model.Index().Len(),
 		IndexBytes: s.model.Index().SizeBytes(),
 		Dim:        cfg.Dim,
 		Compressed: cfg.Compress,
-	})
+	}
+	if s.serve != nil {
+		st := s.serve.Stats()
+		resp.Serving = &st
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
 }

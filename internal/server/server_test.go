@@ -2,20 +2,25 @@ package server
 
 import (
 	"encoding/json"
+	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"emblookup/internal/core"
 	"emblookup/internal/kg"
+	"emblookup/internal/serve"
 )
 
 var (
-	once sync.Once
-	tGr  *kg.Graph
-	tSrv *Server
-	tErr error
+	once   sync.Once
+	tGr    *kg.Graph
+	tModel *core.EmbLookup
+	tSrv   *Server
+	tErr   error
 )
 
 func testServer(t *testing.T) (*kg.Graph, *Server) {
@@ -30,12 +35,19 @@ func testServer(t *testing.T) (*kg.Graph, *Server) {
 			tErr = err
 			return
 		}
-		tGr, tSrv = g, New(g, m)
+		tGr, tModel, tSrv = g, m, New(g, m)
 	})
 	if tErr != nil {
 		t.Fatal(tErr)
 	}
 	return tGr, tSrv
+}
+
+// testModel returns the shared trained model (training once for the whole
+// package).
+func testModel(t *testing.T) (*kg.Graph, *core.EmbLookup) {
+	g, _ := testServer(t)
+	return g, tModel
 }
 
 func TestLookupEndpoint(t *testing.T) {
@@ -153,5 +165,207 @@ func TestMethodRouting(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != 405 {
 		t.Fatalf("GET /bulk status %d, want 405", resp.StatusCode)
+	}
+}
+
+// servingServer builds a Server routed through the full serving substrate
+// (sharded scans + coalescer + mention cache).
+func servingServer(t *testing.T) (*kg.Graph, *Server, *serve.Serve) {
+	t.Helper()
+	g, m := testModel(t)
+	sv, err := serve.New(m, serve.Options{
+		Shards:    2,
+		MaxBatch:  4,
+		Window:    100 * time.Microsecond,
+		CacheSize: 256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, New(g, m, WithServe(sv)), sv
+}
+
+func fetchLookup(t *testing.T, client *http.Client, base, q string, k int) LookupResponse {
+	t.Helper()
+	resp, err := client.Get(base + "/lookup?q=" + strings.ReplaceAll(q, " ", "+") + fmt.Sprintf("&k=%d", k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("lookup status %d", resp.StatusCode)
+	}
+	var lr LookupResponse
+	if err := json.NewDecoder(resp.Body).Decode(&lr); err != nil {
+		t.Fatal(err)
+	}
+	return lr
+}
+
+func fetchBulk(t *testing.T, client *http.Client, base string, queries []string, k int) []LookupResponse {
+	t.Helper()
+	body := strings.Join(queries, "\n") + "\n"
+	resp, err := client.Post(base+fmt.Sprintf("/bulk?k=%d", k), "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("bulk status %d", resp.StatusCode)
+	}
+	dec := json.NewDecoder(resp.Body)
+	var lines []LookupResponse
+	for dec.More() {
+		var lr LookupResponse
+		if err := dec.Decode(&lr); err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, lr)
+	}
+	return lines
+}
+
+func sameHits(t *testing.T, ctx string, want, got []Hit) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d vs %d hits", ctx, len(want), len(got))
+	}
+	for i := range want {
+		if want[i].ID != got[i].ID || want[i].Score != got[i].Score {
+			t.Fatalf("%s: hit %d diverges: %+v vs %+v", ctx, i, want[i], got[i])
+		}
+	}
+}
+
+// TestServeConcurrentEndpoints hammers /lookup and /bulk with 16 goroutines
+// through the full serving substrate and checks every response against the
+// sequential ground truth from the plain (direct-model) server. The first
+// phase runs cache-cold, the second fully cache-warm; run under -race this
+// exercises the cache shards, the coalescer, and the sharded scan merge
+// concurrently.
+func TestServeConcurrentEndpoints(t *testing.T) {
+	g, plain := testServer(t)
+	_, srv, sv := servingServer(t)
+
+	tsPlain := httptest.NewServer(plain.Handler())
+	defer tsPlain.Close()
+	tsServe := httptest.NewServer(srv.Handler())
+	defer tsServe.Close()
+
+	const k = 5
+	queries := make([]string, 8)
+	want := make([][]Hit, len(queries))
+	for i := range queries {
+		queries[i] = g.Entities[i].Label
+		want[i] = fetchLookup(t, tsPlain.Client(), tsPlain.URL, queries[i], k).Results
+	}
+	bulkWant := make([]LookupResponse, 0)
+	bulkWant = append(bulkWant, fetchBulk(t, tsPlain.Client(), tsPlain.URL, queries, k)...)
+
+	for _, phase := range []string{"cold", "warm"} {
+		var wg sync.WaitGroup
+		for w := 0; w < 16; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				client := tsServe.Client()
+				for i := 0; i < 10; i++ {
+					qi := (w + i) % len(queries)
+					got := fetchLookup(t, client, tsServe.URL, queries[qi], k)
+					sameHits(t, fmt.Sprintf("%s /lookup %q worker %d", phase, queries[qi], w), want[qi], got.Results)
+					if w%4 == 0 && i%5 == 0 {
+						lines := fetchBulk(t, client, tsServe.URL, queries, k)
+						if len(lines) != len(queries) {
+							t.Errorf("%s /bulk: %d lines", phase, len(lines))
+							return
+						}
+						for j := range lines {
+							sameHits(t, fmt.Sprintf("%s /bulk line %d", phase, j), bulkWant[j].Results, lines[j].Results)
+						}
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		if phase == "cold" {
+			if st := sv.Stats(); st.Cache == nil || st.Cache.Entries == 0 {
+				t.Fatalf("cache never populated: %+v", st)
+			}
+		}
+	}
+	st := sv.Stats()
+	if st.Cache.Hits == 0 {
+		t.Fatalf("warm phase produced no cache hits: %+v", *st.Cache)
+	}
+}
+
+// TestStatsServing checks that /stats exposes the serving counters when the
+// server is built with WithServe, and omits them otherwise.
+func TestStatsServing(t *testing.T) {
+	g, srv, _ := servingServer(t)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	fetchLookup(t, ts.Client(), ts.URL, g.Entities[0].Label, 3)
+	fetchLookup(t, ts.Client(), ts.URL, g.Entities[0].Label, 3) // warm hit
+
+	resp, err := ts.Client().Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Serving == nil {
+		t.Fatal("serving stats missing with WithServe")
+	}
+	if st.Serving.Shards != 2 || st.Serving.Cache == nil || st.Serving.Cache.Hits == 0 {
+		t.Fatalf("serving stats = %+v", *st.Serving)
+	}
+
+	// The plain server must not report a serving section.
+	_, plain := testServer(t)
+	tsPlain := httptest.NewServer(plain.Handler())
+	defer tsPlain.Close()
+	respP, err := tsPlain.Client().Get(tsPlain.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer respP.Body.Close()
+	var stP StatsResponse
+	if err := json.NewDecoder(respP.Body).Decode(&stP); err != nil {
+		t.Fatal(err)
+	}
+	if stP.Serving != nil {
+		t.Fatalf("plain server leaked serving stats: %+v", *stP.Serving)
+	}
+}
+
+// TestPprofGating checks that /debug/pprof/ is mounted only with WithPprof.
+func TestPprofGating(t *testing.T) {
+	g, m := testModel(t)
+
+	plain := httptest.NewServer(New(g, m).Handler())
+	defer plain.Close()
+	resp, err := plain.Client().Get(plain.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == 200 {
+		t.Fatal("pprof exposed without WithPprof")
+	}
+
+	prof := httptest.NewServer(New(g, m, WithPprof()).Handler())
+	defer prof.Close()
+	resp, err = prof.Client().Get(prof.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("pprof index status %d with WithPprof", resp.StatusCode)
 	}
 }

@@ -21,4 +21,8 @@ echo "== allocation benchmarks (short) =="
 go test -run '^$' -bench 'BenchmarkPQSearch$|BenchmarkLookupAllocs' \
     -benchmem -benchtime 10x .
 
+echo "== serving benchmarks (short) =="
+go test -run '^$' -bench 'BenchmarkServe' \
+    -benchmem -benchtime 10x ./internal/serve
+
 echo "verify: OK"
