@@ -274,6 +274,50 @@ func BenchmarkPQADCScan(b *testing.B) {
 	}
 }
 
+// BenchmarkPQBuild measures full PQ index construction — codebook training
+// plus row encoding — with one worker vs all cores: the parallel-build path
+// cmd/benchkg -bench-build snapshots into BENCH_build.json.
+func BenchmarkPQBuild(b *testing.B) {
+	data := mathx.NewMatrix(5000, 64)
+	data.FillRandn(mathx.NewRNG(5), 1)
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"seq", 1}, {"par", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := quant.PQConfig{M: 8, Ks: 64, Iters: 5, Seed: 6, Workers: bc.workers}
+				if _, err := index.NewPQ(data, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkIVFBuild is the same comparison for the inverted-file index:
+// coarse k-means, residual computation, and per-list encoding all fan out.
+func BenchmarkIVFBuild(b *testing.B) {
+	data := mathx.NewMatrix(5000, 64)
+	data.FillRandn(mathx.NewRNG(7), 1)
+	pqCfg := quant.PQConfig{M: 8, Ks: 64, Iters: 5, Seed: 8}
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"seq", 1}, {"par", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := index.DefaultIVFConfig(data.Rows)
+				cfg.PQ = &pqCfg
+				cfg.Workers = bc.workers
+				if _, err := index.NewIVF(data, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkTrain(b *testing.B) {
 	g, _ := kg.Generate(kg.DefaultGeneratorConfig(kg.WikidataProfile, 300))
 	cfg := core.FastConfig()

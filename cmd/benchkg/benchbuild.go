@@ -1,0 +1,166 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"emblookup/internal/core"
+	"emblookup/internal/index"
+	"emblookup/internal/kg"
+	"emblookup/internal/mathx"
+	"emblookup/internal/quant"
+)
+
+// bestOfUs runs fn n times and returns the fastest wall-clock in
+// microseconds — the usual best-of-N guard against scheduler noise for
+// phase-level (not per-op) timings.
+func bestOfUs(n int, fn func()) float64 {
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		fn()
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return float64(best.Microseconds())
+}
+
+// benchBuild trains a small model and snapshots the cold-start profile into
+// a JSON file: per-phase construction timings (embedding, k-means, PQ
+// training, row encoding) sequential vs parallel, and the artifact path
+// (serialize, then load) against the rebuild path. Phase rows carry
+// seq_us/par_us so cmd/benchcompare gates them as timings; the speedup
+// ratios ride along informationally.
+func benchBuild(path string, entities int, seed uint64) error {
+	gCfg := kg.DefaultGeneratorConfig(kg.WikidataProfile, entities)
+	gCfg.Seed = seed
+	g, _ := kg.Generate(gCfg)
+
+	cfg := core.FastConfig()
+	cfg.Epochs = 4
+	m, err := core.Train(g, cfg)
+	if err != nil {
+		return fmt.Errorf("training: %w", err)
+	}
+
+	labels := make([]string, len(g.Entities))
+	for i := range g.Entities {
+		labels[i] = g.Entities[i].Label
+	}
+	snap := benchSnapshot{Env: captureEnv(entities)}
+	add := func(name string, metrics map[string]float64) {
+		snap.Results = append(snap.Results, benchResult{Name: name, Metrics: metrics})
+	}
+
+	// Phase 1: embedding every entity (always parallel in buildIndex).
+	var data *mathx.Matrix
+	embedUs := bestOfUs(3, func() { data = m.EmbeddingMatrix(labels, 0) })
+	add("embed_entities", map[string]float64{"par_us": embedUs})
+
+	// Phase 2: the coarse k-means at the IVF default list count.
+	kmCfg := quant.KMeansConfig{K: index.DefaultIVFConfig(data.Rows).NList, MaxIters: 10, Seed: seed}
+	kmSeq := bestOfUs(3, func() {
+		c := kmCfg
+		c.Workers = 1
+		quant.KMeans(data, c)
+	})
+	kmPar := bestOfUs(3, func() {
+		c := kmCfg
+		c.Workers = 0
+		quant.KMeans(data, c)
+	})
+	add("kmeans_coarse", map[string]float64{"seq_us": kmSeq, "par_us": kmPar, "speedup": kmSeq / kmPar})
+
+	// Phase 3: PQ codebook training (M concurrent sub-problems).
+	pqCfg := m.Config().PQ
+	tpSeq := bestOfUs(3, func() {
+		c := pqCfg
+		c.Workers = 1
+		if _, err := quant.TrainPQ(data, c); err != nil {
+			panic(err)
+		}
+	})
+	tpPar := bestOfUs(3, func() {
+		c := pqCfg
+		c.Workers = 0
+		if _, err := quant.TrainPQ(data, c); err != nil {
+			panic(err)
+		}
+	})
+	add("train_pq", map[string]float64{"seq_us": tpSeq, "par_us": tpPar, "speedup": tpSeq / tpPar})
+
+	// Phase 4: full index construction, training plus row encoding.
+	bpSeq := bestOfUs(3, func() {
+		c := pqCfg
+		c.Workers = 1
+		if _, err := index.NewPQ(data, c); err != nil {
+			panic(err)
+		}
+	})
+	bpPar := bestOfUs(3, func() {
+		c := pqCfg
+		c.Workers = 0
+		if _, err := index.NewPQ(data, c); err != nil {
+			panic(err)
+		}
+	})
+	add("build_pq", map[string]float64{"seq_us": bpSeq, "par_us": bpPar, "speedup": bpSeq / bpPar})
+
+	ivfCfg := index.DefaultIVFConfig(data.Rows)
+	ivfCfg.PQ = &pqCfg
+	biSeq := bestOfUs(3, func() {
+		c := ivfCfg
+		c.Workers = 1
+		if _, err := index.NewIVF(data, c); err != nil {
+			panic(err)
+		}
+	})
+	biPar := bestOfUs(3, func() {
+		c := ivfCfg
+		c.Workers = 0
+		if _, err := index.NewIVF(data, c); err != nil {
+			panic(err)
+		}
+	})
+	add("build_ivf_pq", map[string]float64{"seq_us": biSeq, "par_us": biPar, "speedup": biSeq / biPar})
+
+	// Phase 5: cold start — attach the saved artifact vs rebuild from
+	// weights. This is the headline number: the load path re-runs none of
+	// the phases above.
+	dir, err := os.MkdirTemp("", "benchbuild")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	withIx := filepath.Join(dir, "with_index.bin")
+	weights := filepath.Join(dir, "weights.bin")
+	serializeUs := bestOfUs(3, func() {
+		if err := m.SaveFileWithIndex(withIx); err != nil {
+			panic(err)
+		}
+	})
+	if err := m.SaveFile(weights); err != nil {
+		return err
+	}
+	loadUs := bestOfUs(3, func() {
+		if _, err := core.LoadFile(withIx, g); err != nil {
+			panic(err)
+		}
+	})
+	rebuildUs := bestOfUs(3, func() {
+		if _, err := core.LoadFile(weights, g); err != nil {
+			panic(err)
+		}
+	})
+	add("cold_start", map[string]float64{
+		"serialize_us":       serializeUs,
+		"load_us":            loadUs,
+		"rebuild_us":         rebuildUs,
+		"cold_start_speedup": rebuildUs / loadUs,
+	})
+
+	return writeSnapshot(path, snap)
+}

@@ -17,6 +17,13 @@
 // records throughput, tail latency, and cache hit rate:
 //
 //	benchkg -bench-serve BENCH_serve.json [-entities 2000] [-clients 16]
+//
+// With -bench-build it measures index construction and cold start: the
+// per-phase build timings (embedding, k-means, PQ training, row encoding)
+// sequential vs parallel, plus loading a saved index artifact against
+// rebuilding the index from weights:
+//
+//	benchkg -bench-build BENCH_build.json [-entities 2000]
 package main
 
 import (
@@ -43,6 +50,7 @@ func main() {
 	seed := flag.Uint64("seed", 42, "seed")
 	benchPath := flag.String("bench-lookup", "", "train a model and write a lookup benchmark snapshot to this JSON file")
 	benchServePath := flag.String("bench-serve", "", "train a model and write a serving benchmark snapshot to this JSON file")
+	benchBuildPath := flag.String("bench-build", "", "train a model and write an index-construction benchmark snapshot to this JSON file")
 	clients := flag.Int("clients", 16, "concurrent clients for -bench-serve")
 	flag.Parse()
 
@@ -54,6 +62,12 @@ func main() {
 	}
 	if *benchServePath != "" {
 		if err := benchServe(*benchServePath, *entities, *clients, *seed); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *benchBuildPath != "" {
+		if err := benchBuild(*benchBuildPath, *entities, *seed); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -5,11 +5,19 @@
 // Usage:
 //
 //	emblookup gen   -entities 2000 -profile wikidata -out graph.bin
-//	emblookup train -graph graph.bin -out model.bin [-epochs 6] [-dim 64]
+//	emblookup train -graph graph.bin -out model.bin [-epochs 6] [-dim 64] [-save-index=false]
 //	emblookup query -graph graph.bin -model model.bin -k 10 "Germany" "Germoney" ...
 //	emblookup bulk  -graph graph.bin -model model.bin -in queries.txt -k 10
 //	emblookup serve -graph graph.bin -model model.bin -addr :8080
 //	emblookup stats -graph graph.bin
+//
+// Model files written with the index artifact (the train default) make cold
+// starts IO-bound: load attaches the saved index instead of re-embedding
+// the graph and retraining the quantizer. `emblookup index` manages the
+// artifact after the fact:
+//
+//	emblookup index save -graph graph.bin -model model.bin -out model.bin
+//	emblookup index load -graph graph.bin -model model.bin
 package main
 
 import (
@@ -46,14 +54,64 @@ func main() {
 		cmdBulk(os.Args[2:])
 	case "stats":
 		cmdStats(os.Args[2:])
+	case "index":
+		cmdIndex(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: emblookup <gen|train|query|bulk|serve|stats> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: emblookup <gen|train|query|bulk|serve|stats|index> [flags]")
 	os.Exit(2)
+}
+
+// cmdIndex manages the index artifact of a saved model.
+//
+//	index save  — load a model (rebuilding its index if the file has no
+//	              artifact) and rewrite it with the index embedded
+//	index load  — load a model and report where its index came from and how
+//	              long the attach took, without serving anything
+func cmdIndex(args []string) {
+	if len(args) < 1 {
+		log.Fatal("usage: emblookup index <save|load> [flags]")
+	}
+	sub, args := args[0], args[1:]
+	fs := flag.NewFlagSet("index "+sub, flag.ExitOnError)
+	graphPath := fs.String("graph", "graph.bin", "graph file")
+	modelPath := fs.String("model", "model.bin", "model file")
+	out := fs.String("out", "", "output path for `index save` (default: overwrite -model)")
+	fs.Parse(args)
+
+	g, err := kg.LoadFile(*graphPath)
+	if err != nil {
+		log.Fatalf("loading graph: %v", err)
+	}
+	start := time.Now()
+	model, err := core.LoadFile(*modelPath, g)
+	if err != nil {
+		log.Fatalf("loading model: %v", err)
+	}
+	prov := model.IndexProvenance()
+	log.Printf("index %s in %v (%d rows, %d payload bytes; model load %v total)",
+		prov.Source, prov.Took.Round(time.Microsecond), model.Index().Len(),
+		model.Index().SizeBytes(), time.Since(start).Round(time.Millisecond))
+
+	switch sub {
+	case "load":
+		// The report above is the whole job.
+	case "save":
+		path := *out
+		if path == "" {
+			path = *modelPath
+		}
+		if err := model.SaveFileWithIndex(path); err != nil {
+			log.Fatalf("saving model with index: %v", err)
+		}
+		log.Printf("wrote %s with index artifact", path)
+	default:
+		log.Fatalf("unknown subcommand %q (want save or load)", sub)
+	}
 }
 
 // cmdBulk runs the bulk-lookup mode the paper optimizes for: one query per
@@ -151,6 +209,8 @@ func cmdServe(args []string) {
 	if err != nil {
 		log.Fatalf("loading model: %v", err)
 	}
+	prov := model.IndexProvenance()
+	log.Printf("index %s in %v (also under /stats)", prov.Source, prov.Took.Round(time.Microsecond))
 	sv, err := serve.New(model, serve.Options{
 		Shards:    *shards,
 		MaxBatch:  *batch,
@@ -201,6 +261,7 @@ func cmdTrain(args []string) {
 	epochs := fs.Int("epochs", 6, "training epochs (half offline, half online-mined)")
 	triplets := fs.Int("triplets", 20, "triplets mined per entity")
 	compress := fs.Bool("compress", true, "product-quantize the index")
+	saveIndex := fs.Bool("save-index", true, "embed the built index in the model file (IO-bound cold starts)")
 	paper := fs.Bool("paper", false, "use the full paper configuration (100 epochs, 100 triplets/entity)")
 	fs.Parse(args)
 
@@ -226,10 +287,19 @@ func cmdTrain(args []string) {
 	}
 	log.Printf("trained in %v; index %d rows, %d payload bytes",
 		time.Since(start).Round(time.Millisecond), model.Index().Len(), model.Index().SizeBytes())
-	if err := model.SaveFile(*out); err != nil {
+	if *saveIndex {
+		err = model.SaveFileWithIndex(*out)
+	} else {
+		err = model.SaveFile(*out)
+	}
+	if err != nil {
 		log.Fatalf("saving model: %v", err)
 	}
-	log.Printf("wrote %s", *out)
+	if *saveIndex {
+		log.Printf("wrote %s (with index artifact)", *out)
+	} else {
+		log.Printf("wrote %s (weights only, index rebuilt on load)", *out)
+	}
 }
 
 func cmdQuery(args []string) {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"emblookup/internal/charenc"
 	"emblookup/internal/index"
 	"emblookup/internal/kg"
@@ -24,8 +26,23 @@ type EmbLookup struct {
 
 	graph *kg.Graph
 	ix    index.Index
-	rows  []kg.EntityID // index row -> entity
+	rows  []kg.EntityID // index row -> entity (trained prefix, immutable)
+	extra *extraRows    // live-added rows (dynamic index only)
+	prov  IndexProvenance
 }
+
+// IndexProvenance records how the model's current index came to be: rebuilt
+// from the weights (embedding every entity and retraining the quantizer) or
+// attached from a saved artifact (IO-bound), and how long that took. The
+// server surfaces it under /stats so a deployment can tell a fast cold
+// start from a silent multi-minute rebuild.
+type IndexProvenance struct {
+	Source string        // "rebuilt" or "loaded"
+	Took   time.Duration // wall-clock of the rebuild or the artifact attach
+}
+
+// IndexProvenance reports the current index's provenance.
+func (e *EmbLookup) IndexProvenance() IndexProvenance { return e.prov }
 
 // Name implements lookup.Service.
 func (e *EmbLookup) Name() string {

@@ -97,7 +97,7 @@ func (e *EmbLookup) dedupeInto(sc *Scratch, res []index.Result, k int) []lookup.
 	}
 	out := make([]lookup.Candidate, 0, min(k, len(res)))
 	for _, r := range res {
-		id := e.rows[r.ID]
+		id := e.rowEntity(r.ID)
 		if sc.seen[id] {
 			continue
 		}

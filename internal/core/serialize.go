@@ -6,29 +6,64 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"emblookup/internal/charenc"
+	"emblookup/internal/index"
 	"emblookup/internal/kg"
 	"emblookup/internal/mathx"
 	"emblookup/internal/ngram"
 	"emblookup/internal/nn"
+	"emblookup/internal/quant"
 )
 
+// modelFormatVersion is the current on-disk format. Version 0 files are the
+// original weights-only layout (pre-versioning, the field decodes to zero);
+// version 2 adds the optional index artifact. Read accepts every version up
+// to the current one and rejects files written by a newer build.
+const modelFormatVersion = 2
+
 // modelWire is the serialized form of a trained EmbLookup model. The
-// nearest-neighbor index is rebuilt on load (deterministically, from the
-// stored weights), and the knowledge graph is attached by the caller.
+// nearest-neighbor index either rides along as a versioned artifact
+// (WriteWithIndex) and is attached on load, or is rebuilt deterministically
+// from the stored weights; the knowledge graph is attached by the caller.
 type modelWire struct {
+	Version       int
 	Cfg           Config
 	Alphabet      string
 	Ngram         wireMatrix
 	NgramCfg      [2]int // dim, buckets
 	KnownMentions []int
 	Params        []wireMatrix
+	Index         *wireIndex
 }
 
 type wireMatrix struct {
 	Rows, Cols int
 	Data       []float32
+}
+
+// wireQuantizer is a serialized product quantizer: shape plus the M
+// sub-codebooks.
+type wireQuantizer struct {
+	D, M, Ks, Dsub int
+	Codebooks      []wireMatrix
+}
+
+// wireIndex is the index artifact: everything a cold start needs to attach
+// the trained index without re-embedding the graph or re-running k-means.
+// Exactly the fields for Kind are populated.
+type wireIndex struct {
+	Kind      string        // "flat" | "pq" | "ivf-flat" | "ivf-pq"
+	Rows      []kg.EntityID // index row -> entity
+	Flat      wireMatrix    // flat
+	Quant     wireQuantizer // pq, ivf-pq
+	Codes     []byte        // pq
+	Coarse    wireMatrix    // ivf-flat, ivf-pq
+	NProbe    int           // ivf-flat, ivf-pq
+	Lists     [][]int32     // ivf-flat, ivf-pq
+	ListCodes [][]byte      // ivf-pq
+	Vectors   wireMatrix    // ivf-flat
 }
 
 func toWire(m *mathx.Matrix) wireMatrix {
@@ -39,10 +74,107 @@ func fromWire(w wireMatrix) *mathx.Matrix {
 	return &mathx.Matrix{Rows: w.Rows, Cols: w.Cols, Data: w.Data}
 }
 
-// Write serializes the trained model (weights only, not the graph or
-// index).
+func quantizerToWire(q *quant.ProductQuantizer) wireQuantizer {
+	wq := wireQuantizer{D: q.D, M: q.M, Ks: q.Ks, Dsub: q.Dsub}
+	for _, cb := range q.Codebooks {
+		wq.Codebooks = append(wq.Codebooks, toWire(cb))
+	}
+	return wq
+}
+
+func quantizerFromWire(wq wireQuantizer) *quant.ProductQuantizer {
+	q := &quant.ProductQuantizer{D: wq.D, M: wq.M, Ks: wq.Ks, Dsub: wq.Dsub}
+	for _, cb := range wq.Codebooks {
+		q.Codebooks = append(q.Codebooks, fromWire(cb))
+	}
+	return q
+}
+
+// indexToWire snapshots the model's built index. A Sharded wrapper is
+// unwrapped (shard count is a serving-time choice, re-applied after load);
+// a Dynamic index must be compacted back to a sealed one by the caller
+// first, because its delta segment is serving state, not an artifact.
+func (e *EmbLookup) indexToWire() (*wireIndex, error) {
+	ix := e.ix
+	if sh, ok := ix.(*index.Sharded); ok {
+		ix = sh.Inner()
+	}
+	w := &wireIndex{Rows: e.rows}
+	switch t := ix.(type) {
+	case *index.Flat:
+		w.Kind = "flat"
+		w.Flat = toWire(t.Vectors())
+	case *index.PQ:
+		w.Kind = "pq"
+		w.Quant = quantizerToWire(t.Quantizer())
+		w.Codes = t.Codes()
+	case *index.IVF:
+		w.Coarse = toWire(t.Coarse())
+		w.NProbe = t.NProbe()
+		w.Lists = t.Lists()
+		if q := t.Quantizer(); q != nil {
+			w.Kind = "ivf-pq"
+			w.Quant = quantizerToWire(q)
+			w.ListCodes = t.ListCodes()
+		} else {
+			w.Kind = "ivf-flat"
+			w.Vectors = toWire(t.Vectors())
+		}
+	default:
+		return nil, fmt.Errorf("core: index type %T has no serialized form", ix)
+	}
+	return w, nil
+}
+
+// indexFromWire reassembles a saved index artifact and validates its row
+// mapping against the graph the model is being attached to.
+func indexFromWire(w *wireIndex, g *kg.Graph) (index.Index, []kg.EntityID, error) {
+	var ix index.Index
+	var err error
+	switch w.Kind {
+	case "flat":
+		ix = index.NewFlat(fromWire(w.Flat))
+	case "pq":
+		ix, err = index.NewPQFromParts(quantizerFromWire(w.Quant), w.Codes)
+	case "ivf-flat":
+		ix, err = index.NewIVFFromParts(fromWire(w.Coarse), w.NProbe, w.Lists, fromWire(w.Vectors), nil, nil)
+	case "ivf-pq":
+		ix, err = index.NewIVFFromParts(fromWire(w.Coarse), w.NProbe, w.Lists, nil, quantizerFromWire(w.Quant), w.ListCodes)
+	default:
+		return nil, nil, fmt.Errorf("core: unknown index artifact kind %q", w.Kind)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(w.Rows) != ix.Len() {
+		return nil, nil, fmt.Errorf("core: index artifact maps %d rows but stores %d vectors", len(w.Rows), ix.Len())
+	}
+	for _, id := range w.Rows {
+		if int(id) < 0 || int(id) >= len(g.Entities) {
+			return nil, nil, fmt.Errorf("core: index artifact references entity %d outside the graph (%d entities) — wrong graph?", id, len(g.Entities))
+		}
+	}
+	return ix, w.Rows, nil
+}
+
+// Write serializes the trained model weights only — the compact form; the
+// index is rebuilt deterministically on load. Use WriteWithIndex to make
+// cold starts IO-bound instead.
 func (e *EmbLookup) Write(w io.Writer) error {
+	return e.write(w, false)
+}
+
+// WriteWithIndex serializes the model together with its built index
+// (codebooks, codes, vectors, inverted lists, and the row→entity mapping),
+// so Read attaches the index instead of re-embedding every entity and
+// retraining the quantizer.
+func (e *EmbLookup) WriteWithIndex(w io.Writer) error {
+	return e.write(w, true)
+}
+
+func (e *EmbLookup) write(w io.Writer, withIndex bool) error {
 	wire := modelWire{
+		Version:       modelFormatVersion,
 		Cfg:           e.cfg,
 		Alphabet:      e.enc.Alphabet.Runes(),
 		Ngram:         toWire(e.sem.Table),
@@ -52,16 +184,30 @@ func (e *EmbLookup) Write(w io.Writer) error {
 	for _, p := range e.masterParams() {
 		wire.Params = append(wire.Params, toWire(p.W))
 	}
+	if withIndex {
+		wi, err := e.indexToWire()
+		if err != nil {
+			return err
+		}
+		wire.Index = wi
+	}
 	return gob.NewEncoder(w).Encode(wire)
 }
 
-// Read deserializes a model written by Write and rebuilds its index over g.
-// g must be the graph the model was trained on (or a graph with identical
-// entity numbering).
+// Read deserializes a model written by Write or WriteWithIndex. When the
+// file carries an index artifact it is attached directly — cold start
+// becomes an IO-bound load — otherwise the index is rebuilt over g from the
+// stored weights. g must be the graph the model was trained on (or a graph
+// with identical entity numbering); an artifact whose row mapping does not
+// fit g is rejected. Provenance (loaded vs rebuilt, and how long it took)
+// is exposed via IndexProvenance.
 func Read(r io.Reader, g *kg.Graph) (*EmbLookup, error) {
 	var wire modelWire
 	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
 		return nil, err
+	}
+	if wire.Version > modelFormatVersion {
+		return nil, fmt.Errorf("core: model format version %d is newer than this build supports (%d)", wire.Version, modelFormatVersion)
 	}
 	cfg := wire.Cfg
 	rng := mathx.NewRNG(cfg.Seed)
@@ -92,20 +238,40 @@ func Read(r io.Reader, g *kg.Graph) (*EmbLookup, error) {
 		}
 		p.W.Data = w.Data
 	}
+	if wire.Index != nil {
+		start := time.Now()
+		ix, rows, err := indexFromWire(wire.Index, g)
+		if err != nil {
+			return nil, err
+		}
+		e.ix, e.rows = ix, rows
+		e.prov = IndexProvenance{Source: "loaded", Took: time.Since(start)}
+		return e, nil
+	}
 	if err := e.buildIndex(); err != nil {
 		return nil, err
 	}
 	return e, nil
 }
 
-// SaveFile writes the model to path.
+// SaveFile writes the model weights to path (index rebuilt on load).
 func (e *EmbLookup) SaveFile(path string) error {
+	return e.saveFile(path, false)
+}
+
+// SaveFileWithIndex writes the model and its index artifact to path, so
+// LoadFile attaches the index instead of rebuilding it.
+func (e *EmbLookup) SaveFileWithIndex(path string) error {
+	return e.saveFile(path, true)
+}
+
+func (e *EmbLookup) saveFile(path string, withIndex bool) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	bw := bufio.NewWriter(f)
-	if err := e.Write(bw); err != nil {
+	if err := e.write(bw, withIndex); err != nil {
 		f.Close()
 		return err
 	}
@@ -116,7 +282,9 @@ func (e *EmbLookup) SaveFile(path string) error {
 	return f.Close()
 }
 
-// LoadFile reads a model saved with SaveFile and rebuilds its index over g.
+// LoadFile reads a model saved with SaveFile or SaveFileWithIndex,
+// attaching the saved index when present and rebuilding it over g
+// otherwise.
 func LoadFile(path string, g *kg.Graph) (*EmbLookup, error) {
 	f, err := os.Open(path)
 	if err != nil {

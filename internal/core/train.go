@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"emblookup/internal/charenc"
 	"emblookup/internal/index"
@@ -434,8 +435,11 @@ func (e *EmbLookup) selectTopLoss(ts []triplet.Triplet, cfg Config, workers int)
 }
 
 // buildIndex embeds every entity (by label, plus aliases when configured)
-// and constructs the configured nearest-neighbor index.
+// and constructs the configured nearest-neighbor index. Embedding, k-means,
+// and row encoding all fan across cfg.Workers; the built index is
+// bit-identical at every worker count (see quant.KMeansConfig).
 func (e *EmbLookup) buildIndex() error {
+	start := time.Now()
 	var strs []string
 	var rows []kg.EntityID
 	for i := range e.graph.Entities {
@@ -451,6 +455,10 @@ func (e *EmbLookup) buildIndex() error {
 	}
 	m := e.EmbeddingMatrix(strs, e.cfg.Workers)
 	e.rows = rows
+	pqCfg := e.cfg.PQ
+	if pqCfg.Workers == 0 {
+		pqCfg.Workers = e.cfg.Workers
+	}
 	switch {
 	case e.cfg.IVF:
 		ivfCfg := index.DefaultIVFConfig(m.Rows)
@@ -458,16 +466,16 @@ func (e *EmbLookup) buildIndex() error {
 			ivfCfg.NProbe = e.cfg.IVFNProbe
 		}
 		if e.cfg.Compress {
-			pqCfg := e.cfg.PQ
 			ivfCfg.PQ = &pqCfg
 		}
+		ivfCfg.Workers = e.cfg.Workers
 		ivf, err := index.NewIVF(m, ivfCfg)
 		if err != nil {
 			return fmt.Errorf("core: building IVF index: %w", err)
 		}
 		e.ix = ivf
 	case e.cfg.Compress:
-		pqIx, err := index.NewPQ(m, e.cfg.PQ)
+		pqIx, err := index.NewPQ(m, pqCfg)
 		if err != nil {
 			return fmt.Errorf("core: building PQ index: %w", err)
 		}
@@ -475,6 +483,7 @@ func (e *EmbLookup) buildIndex() error {
 	default:
 		e.ix = index.NewFlat(m)
 	}
+	e.prov = IndexProvenance{Source: "rebuilt", Took: time.Since(start)}
 	return nil
 }
 

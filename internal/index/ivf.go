@@ -2,6 +2,7 @@ package index
 
 import (
 	"emblookup/internal/mathx"
+	"emblookup/internal/par"
 	"emblookup/internal/quant"
 )
 
@@ -17,6 +18,9 @@ type IVFConfig struct {
 	PQ    *quant.PQConfig
 	Iters int
 	Seed  uint64
+	// Workers bounds construction parallelism (≤0 = GOMAXPROCS); the built
+	// index is bit-identical at any worker count.
+	Workers int
 }
 
 // DefaultIVFConfig sizes the coarse quantizer as ~sqrt(n) lists probing 8.
@@ -49,12 +53,16 @@ type IVF struct {
 	codes [][]byte // per-list codes, parallel to lists
 }
 
-// NewIVF builds an inverted-file index over the rows of data.
+// NewIVF builds an inverted-file index over the rows of data. The coarse
+// clustering, residual computation, and per-list encoding all fan across
+// cfg.Workers goroutines.
 func NewIVF(data *mathx.Matrix, cfg IVFConfig) (*IVF, error) {
 	if cfg.NList <= 0 {
+		workers := cfg.Workers
 		cfg = DefaultIVFConfig(data.Rows)
+		cfg.Workers = workers
 	}
-	cents, assign := quant.KMeans(data, quant.KMeansConfig{K: cfg.NList, MaxIters: cfg.Iters, Seed: cfg.Seed})
+	cents, assign := quant.KMeans(data, quant.KMeansConfig{K: cfg.NList, MaxIters: cfg.Iters, Seed: cfg.Seed, Workers: cfg.Workers})
 	ix := &IVF{
 		coarse: cents,
 		nprobe: cfg.NProbe,
@@ -75,27 +83,32 @@ func NewIVF(data *mathx.Matrix, cfg IVFConfig) (*IVF, error) {
 	// IVF-PQ: quantize the residuals (vector − its coarse centroid), the
 	// standard FAISS formulation.
 	residuals := mathx.NewMatrix(data.Rows, data.Cols)
-	for i := 0; i < data.Rows; i++ {
+	par.ForEach(data.Rows, cfg.Workers, func(i int) {
 		r := residuals.Row(i)
 		copy(r, data.Row(i))
 		cRow := cents.Row(assign[i])
 		for j := range r {
 			r[j] -= cRow[j]
 		}
+	})
+	pqCfg := *cfg.PQ
+	if pqCfg.Workers == 0 {
+		pqCfg.Workers = cfg.Workers
 	}
-	pq, err := quant.TrainPQ(residuals, *cfg.PQ)
+	pq, err := quant.TrainPQ(residuals, pqCfg)
 	if err != nil {
 		return nil, err
 	}
 	ix.pq = pq
 	ix.codes = make([][]byte, cfg.NList)
-	for li, ids := range ix.lists {
+	par.ForEach(cfg.NList, cfg.Workers, func(li int) {
+		ids := ix.lists[li]
 		buf := make([]byte, len(ids)*pq.M)
 		for j, id := range ids {
 			pq.EncodeInto(residuals.Row(int(id)), buf[j*pq.M:(j+1)*pq.M])
 		}
 		ix.codes[li] = buf
-	}
+	})
 	return ix, nil
 }
 

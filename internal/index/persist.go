@@ -1,0 +1,145 @@
+package index
+
+import (
+	"fmt"
+
+	"emblookup/internal/mathx"
+	"emblookup/internal/quant"
+)
+
+// This file is the persistence seam of the package: accessors that
+// decompose a built index into plain matrices, code arrays, and list
+// structures, and from-parts constructors that reassemble one without
+// re-running k-means or re-encoding a single row. The model serializer
+// (internal/core) gob-encodes the parts; reassembly validates every shape
+// so a truncated or mismatched artifact fails loudly instead of
+// mis-indexing. All returned slices and matrices are shared with the
+// index, not copied.
+
+// Vectors exposes the stored vector matrix.
+func (f *Flat) Vectors() *mathx.Matrix { return f.data }
+
+// Codes exposes the flattened n×M code array.
+func (ix *PQ) Codes() []byte { return ix.codes }
+
+// NewPQFromParts reassembles a PQ index from a trained quantizer and a
+// previously encoded code array (len(codes) must be a multiple of q.M).
+func NewPQFromParts(q *quant.ProductQuantizer, codes []byte) (*PQ, error) {
+	if err := validateQuantizer(q); err != nil {
+		return nil, err
+	}
+	if len(codes)%q.M != 0 {
+		return nil, fmt.Errorf("index: code array length %d not a multiple of M=%d", len(codes), q.M)
+	}
+	if err := validateCodes(q, codes); err != nil {
+		return nil, err
+	}
+	return &PQ{pq: q, codes: codes, n: len(codes) / q.M}, nil
+}
+
+// Coarse exposes the NList×D coarse centroid matrix.
+func (ix *IVF) Coarse() *mathx.Matrix { return ix.coarse }
+
+// NProbe returns how many coarse lists a query scans.
+func (ix *IVF) NProbe() int { return ix.nprobe }
+
+// Lists exposes the per-list vector ids.
+func (ix *IVF) Lists() [][]int32 { return ix.lists }
+
+// ListCodes exposes the per-list residual codes (nil for IVF-Flat).
+func (ix *IVF) ListCodes() [][]byte { return ix.codes }
+
+// Quantizer exposes the residual product quantizer (nil for IVF-Flat).
+func (ix *IVF) Quantizer() *quant.ProductQuantizer { return ix.pq }
+
+// Vectors exposes the raw vector matrix (nil for IVF-PQ).
+func (ix *IVF) Vectors() *mathx.Matrix { return ix.vectors }
+
+// NewIVFFromParts reassembles an inverted-file index. For IVF-Flat pass the
+// vector matrix and a nil quantizer; for IVF-PQ pass the trained residual
+// quantizer plus per-list codes and a nil matrix.
+func NewIVFFromParts(coarse *mathx.Matrix, nprobe int, lists [][]int32, vectors *mathx.Matrix, pq *quant.ProductQuantizer, codes [][]byte) (*IVF, error) {
+	if coarse == nil || coarse.Rows == 0 {
+		return nil, fmt.Errorf("index: IVF needs a non-empty coarse quantizer")
+	}
+	if len(lists) != coarse.Rows {
+		return nil, fmt.Errorf("index: %d lists for %d coarse centroids", len(lists), coarse.Rows)
+	}
+	if nprobe <= 0 {
+		nprobe = 1
+	}
+	n := 0
+	for _, ids := range lists {
+		n += len(ids)
+	}
+	ix := &IVF{coarse: coarse, nprobe: nprobe, dim: coarse.Cols, n: n, lists: lists}
+	if pq == nil {
+		if vectors == nil || vectors.Cols != coarse.Cols {
+			return nil, fmt.Errorf("index: IVF-Flat needs a vector matrix matching the coarse dimensionality")
+		}
+		for _, ids := range lists {
+			for _, id := range ids {
+				if int(id) < 0 || int(id) >= vectors.Rows {
+					return nil, fmt.Errorf("index: IVF list id %d outside stored rows [0,%d)", id, vectors.Rows)
+				}
+			}
+		}
+		ix.vectors = vectors
+		return ix, nil
+	}
+	if err := validateQuantizer(pq); err != nil {
+		return nil, err
+	}
+	if pq.D != coarse.Cols {
+		return nil, fmt.Errorf("index: residual quantizer dimensionality %d != coarse %d", pq.D, coarse.Cols)
+	}
+	if len(codes) != len(lists) {
+		return nil, fmt.Errorf("index: %d code lists for %d id lists", len(codes), len(lists))
+	}
+	for li, ids := range lists {
+		if len(codes[li]) != len(ids)*pq.M {
+			return nil, fmt.Errorf("index: list %d holds %d ids but %d code bytes (want %d)", li, len(ids), len(codes[li]), len(ids)*pq.M)
+		}
+		if err := validateCodes(pq, codes[li]); err != nil {
+			return nil, err
+		}
+	}
+	ix.pq = pq
+	ix.codes = codes
+	return ix, nil
+}
+
+// validateCodes rejects code bytes referencing centroids past the trained
+// rows of their codebook — decoding such a code would index out of range.
+func validateCodes(q *quant.ProductQuantizer, codes []byte) error {
+	for i, b := range codes {
+		if int(b) >= q.Codebooks[i%q.M].Rows {
+			return fmt.Errorf("index: code byte %d references centroid %d of codebook %d (trained %d)", i, b, i%q.M, q.Codebooks[i%q.M].Rows)
+		}
+	}
+	return nil
+}
+
+// Inner exposes the wrapped index (the serializer persists the inner index;
+// sharding is a per-deployment serving choice, re-applied after load).
+func (sh *Sharded) Inner() Index { return sh.inner }
+
+// validateQuantizer checks the internal consistency of a deserialized
+// product quantizer before any code is decoded against it.
+func validateQuantizer(q *quant.ProductQuantizer) error {
+	if q == nil || q.M <= 0 || q.Ks <= 0 || q.Ks > 256 || q.Dsub <= 0 || q.D != q.M*q.Dsub {
+		return fmt.Errorf("index: inconsistent quantizer shape")
+	}
+	if len(q.Codebooks) != q.M {
+		return fmt.Errorf("index: quantizer has %d codebooks, want M=%d", len(q.Codebooks), q.M)
+	}
+	for m, cb := range q.Codebooks {
+		if cb == nil || cb.Cols != q.Dsub || cb.Rows == 0 || cb.Rows > q.Ks {
+			return fmt.Errorf("index: codebook %d has bad shape", m)
+		}
+		if len(cb.Data) != cb.Rows*cb.Cols {
+			return fmt.Errorf("index: codebook %d data length %d != %dx%d", m, len(cb.Data), cb.Rows, cb.Cols)
+		}
+	}
+	return nil
+}

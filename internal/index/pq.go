@@ -2,6 +2,7 @@ package index
 
 import (
 	"emblookup/internal/mathx"
+	"emblookup/internal/par"
 	"emblookup/internal/quant"
 )
 
@@ -16,16 +17,18 @@ type PQ struct {
 }
 
 // NewPQ trains a product quantizer on data and encodes every row. cfg.M
-// must divide the dimensionality.
+// must divide the dimensionality. Training and encoding fan across
+// cfg.Workers goroutines; every row's code is an independent exact argmin,
+// so the codes are byte-identical at any worker count.
 func NewPQ(data *mathx.Matrix, cfg quant.PQConfig) (*PQ, error) {
 	q, err := quant.TrainPQ(data, cfg)
 	if err != nil {
 		return nil, err
 	}
 	ix := &PQ{pq: q, n: data.Rows, codes: make([]byte, data.Rows*q.M)}
-	for i := 0; i < data.Rows; i++ {
+	par.ForEach(data.Rows, cfg.Workers, func(i int) {
 		q.EncodeInto(data.Row(i), ix.codes[i*q.M:(i+1)*q.M])
-	}
+	})
 	return ix, nil
 }
 

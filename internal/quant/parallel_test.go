@@ -1,0 +1,92 @@
+package quant
+
+import "testing"
+
+// The parallel k-means reduces per-partition partial sums over a fixed
+// partition grid and merges them in partition order, so centroids must be
+// bit-identical at every worker count — not merely close.
+func TestKMeansParallelMatchesSequential(t *testing.T) {
+	data, _ := clusteredData(700, 8, 5, 21)
+	ref, refAssign := KMeans(data, KMeansConfig{K: 5, MaxIters: 20, Seed: 22, Workers: 1})
+	for _, workers := range []int{2, 3, 5, 8} {
+		cents, assign := KMeans(data, KMeansConfig{K: 5, MaxIters: 20, Seed: 22, Workers: workers})
+		for i := range refAssign {
+			if assign[i] != refAssign[i] {
+				t.Fatalf("workers=%d: assignment %d differs (%d vs %d)", workers, i, assign[i], refAssign[i])
+			}
+		}
+		for i := range ref.Data {
+			if cents.Data[i] != ref.Data[i] {
+				t.Fatalf("workers=%d: centroid value %d differs bitwise (%v vs %v)",
+					workers, i, cents.Data[i], ref.Data[i])
+			}
+		}
+	}
+}
+
+// The M sub-codebooks train concurrently but each sub-problem is seeded
+// independently, so the trained quantizer must not depend on the worker
+// count either.
+func TestTrainPQParallelMatchesSequential(t *testing.T) {
+	data, _ := clusteredData(400, 16, 6, 23)
+	ref, err := TrainPQ(data, PQConfig{M: 4, Ks: 16, Iters: 12, Seed: 24, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 7} {
+		pq, err := TrainPQ(data, PQConfig{M: 4, Ks: 16, Iters: 12, Seed: 24, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for m := range ref.Codebooks {
+			for i := range ref.Codebooks[m].Data {
+				if pq.Codebooks[m].Data[i] != ref.Codebooks[m].Data[i] {
+					t.Fatalf("workers=%d: codebook %d value %d differs bitwise", workers, m, i)
+				}
+			}
+		}
+		// Encoding flows through the codebooks, so codes must agree too.
+		for i := 0; i < 50; i++ {
+			a, b := ref.Encode(data.Row(i)), pq.Encode(data.Row(i))
+			for j := range a {
+				if a[j] != b[j] {
+					t.Fatalf("workers=%d: code for row %d differs", workers, i)
+				}
+			}
+		}
+	}
+}
+
+// Lloyd's algorithm never increases the objective, so running longer can
+// only help (float32 accumulation noise aside — hence the tiny slack).
+func TestKMeansInertiaNonIncreasing(t *testing.T) {
+	data, _ := clusteredData(500, 6, 4, 25)
+	prev := -1.0
+	for iters := 1; iters <= 10; iters++ {
+		cents, assign := KMeans(data, KMeansConfig{K: 4, MaxIters: iters, Seed: 26, Workers: 3})
+		in := Inertia(data, cents, assign)
+		if prev >= 0 && in > prev*(1+1e-6)+1e-9 {
+			t.Fatalf("inertia increased from %.6f (iters=%d) to %.6f (iters=%d)", prev, iters-1, in, iters)
+		}
+		prev = in
+	}
+}
+
+// Once assignments stop changing the loop exits without the redundant final
+// assignment pass, so any larger iteration budget must give the exact same
+// answer as a budget past convergence.
+func TestKMeansConvergedStableAcrossBudgets(t *testing.T) {
+	data, _ := clusteredData(300, 4, 3, 27)
+	c1, a1 := KMeans(data, KMeansConfig{K: 3, MaxIters: 50, Seed: 28, Workers: 2})
+	c2, a2 := KMeans(data, KMeansConfig{K: 3, MaxIters: 500, Seed: 28, Workers: 2})
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("assignments changed past convergence")
+		}
+	}
+	for i := range c1.Data {
+		if c1.Data[i] != c2.Data[i] {
+			t.Fatal("centroids changed past convergence")
+		}
+	}
+}

@@ -2,8 +2,10 @@ package quant
 
 import (
 	"fmt"
+	"runtime"
 
 	"emblookup/internal/mathx"
+	"emblookup/internal/par"
 )
 
 // ProductQuantizer compresses D-dimensional vectors into M bytes, exactly
@@ -23,6 +25,11 @@ type PQConfig struct {
 	Ks    int // centroids per sub-quantizer, at most 256
 	Iters int
 	Seed  uint64
+	// Workers bounds training parallelism (≤0 = GOMAXPROCS). The M
+	// sub-codebooks are independent k-means problems and train
+	// concurrently; each inherits KMeans's worker-count-invariant
+	// reductions, so the codebooks are bit-identical at any Workers.
+	Workers int
 }
 
 // DefaultPQConfig returns the paper's 8-byte configuration.
@@ -38,14 +45,27 @@ func TrainPQ(data *mathx.Matrix, cfg PQConfig) (*ProductQuantizer, error) {
 		return nil, fmt.Errorf("quant: dimension %d not divisible by M=%d", data.Cols, cfg.M)
 	}
 	pq := &ProductQuantizer{D: data.Cols, M: cfg.M, Ks: cfg.Ks, Dsub: data.Cols / cfg.M}
-	for m := 0; m < cfg.M; m++ {
+	pq.Codebooks = make([]*mathx.Matrix, cfg.M)
+	// Each sub-codebook is an independent clustering of its own column
+	// group with its own seed, so the groups fan across workers; leftover
+	// workers fold into each group's KMeans (whose result is worker-count
+	// invariant, so this split only affects wall-clock time).
+	effective := cfg.Workers
+	if effective <= 0 {
+		effective = runtime.GOMAXPROCS(0)
+	}
+	inner := effective / cfg.M
+	if inner < 1 {
+		inner = 1
+	}
+	par.ForEach(cfg.M, cfg.Workers, func(m int) {
 		sub := mathx.NewMatrix(data.Rows, pq.Dsub)
 		for i := 0; i < data.Rows; i++ {
 			copy(sub.Row(i), data.Row(i)[m*pq.Dsub:(m+1)*pq.Dsub])
 		}
-		cents, _ := KMeans(sub, KMeansConfig{K: cfg.Ks, MaxIters: cfg.Iters, Seed: cfg.Seed + uint64(m)})
-		pq.Codebooks = append(pq.Codebooks, cents)
-	}
+		cents, _ := KMeans(sub, KMeansConfig{K: cfg.Ks, MaxIters: cfg.Iters, Seed: cfg.Seed + uint64(m), Workers: inner})
+		pq.Codebooks[m] = cents
+	})
 	return pq, nil
 }
 

@@ -200,26 +200,34 @@ func (s *Server) handleBulk(w http.ResponseWriter, r *http.Request) {
 }
 
 // StatsResponse is the /stats reply. Serving is present only when the
-// server was built with WithServe.
+// server was built with WithServe. IndexSource tells a cold start that
+// attached a saved index artifact ("loaded") from one that re-embedded the
+// graph and retrained the quantizer ("rebuilt"); IndexAttachUs is how long
+// that took.
 type StatsResponse struct {
-	Graph      string       `json:"graph"`
-	Entities   int          `json:"entities"`
-	IndexRows  int          `json:"indexRows"`
-	IndexBytes int          `json:"indexBytes"`
-	Dim        int          `json:"dim"`
-	Compressed bool         `json:"compressed"`
-	Serving    *serve.Stats `json:"serving,omitempty"`
+	Graph         string       `json:"graph"`
+	Entities      int          `json:"entities"`
+	IndexRows     int          `json:"indexRows"`
+	IndexBytes    int          `json:"indexBytes"`
+	Dim           int          `json:"dim"`
+	Compressed    bool         `json:"compressed"`
+	IndexSource   string       `json:"indexSource,omitempty"`
+	IndexAttachUs int64        `json:"indexAttachUs,omitempty"`
+	Serving       *serve.Stats `json:"serving,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	cfg := s.model.Config()
+	prov := s.model.IndexProvenance()
 	resp := StatsResponse{
-		Graph:      s.graph.Name,
-		Entities:   len(s.graph.Entities),
-		IndexRows:  s.model.Index().Len(),
-		IndexBytes: s.model.Index().SizeBytes(),
-		Dim:        cfg.Dim,
-		Compressed: cfg.Compress,
+		Graph:         s.graph.Name,
+		Entities:      len(s.graph.Entities),
+		IndexRows:     s.model.Index().Len(),
+		IndexBytes:    s.model.Index().SizeBytes(),
+		Dim:           cfg.Dim,
+		Compressed:    cfg.Compress,
+		IndexSource:   prov.Source,
+		IndexAttachUs: prov.Took.Microseconds(),
 	}
 	if s.serve != nil {
 		st := s.serve.Stats()

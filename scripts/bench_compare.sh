@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # bench_compare.sh — regenerate the benchmark snapshots into a scratch
 # directory and diff them against the committed BENCH_lookup.json /
-# BENCH_serve.json with cmd/benchcompare. Exits non-zero when any timing
-# metric regressed by more than 20%. `make bench-compare` runs this.
+# BENCH_serve.json / BENCH_build.json with cmd/benchcompare. Exits non-zero
+# when any timing metric regressed by more than 20%. `make bench-compare`
+# runs this.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,11 +13,15 @@ trap 'rm -rf "$tmp"' EXIT
 echo "== regenerating snapshots =="
 go run ./cmd/benchkg -bench-lookup "$tmp/BENCH_lookup.json"
 go run ./cmd/benchkg -bench-serve "$tmp/BENCH_serve.json"
+go run ./cmd/benchkg -bench-build "$tmp/BENCH_build.json"
 
 echo "== lookup snapshot vs committed =="
 go run ./cmd/benchcompare BENCH_lookup.json "$tmp/BENCH_lookup.json"
 
 echo "== serve snapshot vs committed =="
 go run ./cmd/benchcompare BENCH_serve.json "$tmp/BENCH_serve.json"
+
+echo "== build snapshot vs committed =="
+go run ./cmd/benchcompare BENCH_build.json "$tmp/BENCH_build.json"
 
 echo "bench-compare: OK"

@@ -25,4 +25,8 @@ echo "== serving benchmarks (short) =="
 go test -run '^$' -bench 'BenchmarkServe' \
     -benchmem -benchtime 10x ./internal/serve
 
+echo "== build benchmarks (short) =="
+go test -run '^$' -bench 'BenchmarkPQBuild|BenchmarkIVFBuild' \
+    -benchtime 3x .
+
 echo "verify: OK"
