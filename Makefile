@@ -1,9 +1,12 @@
 GO ?= go
 
-.PHONY: build test race bench bench-compare verify
+.PHONY: build vet test race bench bench-compare verify
 
 build:
 	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"emblookup/internal/cluster"
+	"emblookup/internal/core"
+	"emblookup/internal/kg"
+	"emblookup/internal/mathx"
+)
+
+// benchCluster measures the partitioned serving path (internal/cluster):
+// routed lookup latency over in-process clusters of 1, 2, and 4 nodes, then
+// a straggler scenario — one node stalls on every first attempt — with and
+// without hedged requests. The summary's hedging_win is the p99 ratio of
+// the two straggler runs: how much tail latency the hedge buys back.
+func benchCluster(path string, entities int, seed uint64) error {
+	gCfg := kg.DefaultGeneratorConfig(kg.WikidataProfile, entities)
+	gCfg.Seed = seed
+	g, _ := kg.Generate(gCfg)
+
+	cfg := core.FastConfig()
+	cfg.Epochs = 4
+	m, err := core.Train(g, cfg)
+	if err != nil {
+		return fmt.Errorf("training: %w", err)
+	}
+
+	rng := mathx.NewRNG(seed + 1)
+	mix := make([]string, 512)
+	for i := range mix {
+		mix[i] = g.Entities[rng.Zipf(len(g.Entities), zipfSkew)].Label
+	}
+
+	snap := benchSnapshot{Env: captureEnv(entities)}
+	add := func(name string, metrics map[string]float64) {
+		snap.Results = append(snap.Results, benchResult{Name: name, Metrics: metrics})
+	}
+
+	// routed runs ops sequential router lookups and reports ns/op, p50, p99.
+	routed := func(l *cluster.Local, ops int) (nsPerOp, p50us, p99us float64) {
+		lats := make([]time.Duration, ops)
+		start := time.Now()
+		for i := 0; i < ops; i++ {
+			t0 := time.Now()
+			l.Router.Lookup(mix[i%len(mix)], 10)
+			lats[i] = time.Since(t0)
+		}
+		total := time.Since(start)
+		sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+		return float64(total.Nanoseconds()) / float64(ops),
+			float64(percentile(lats, 0.50).Microseconds()),
+			float64(percentile(lats, 0.99).Microseconds())
+	}
+
+	// Healthy clusters: scatter-gather cost as P grows, hedging idle.
+	base := cluster.RouterOptions{HedgeAfter: -1}
+	for _, p := range []int{1, 2, 4} {
+		l, err := cluster.StartLocal(m, p, cluster.LocalOptions{Router: base})
+		if err != nil {
+			return fmt.Errorf("cluster P=%d: %w", p, err)
+		}
+		l.Router.Lookup(mix[0], 10) // warm connections
+		ns, p50, p99 := routed(l, 256)
+		l.Close()
+		add(fmt.Sprintf("cluster_%dnode", p), map[string]float64{
+			"nodes": float64(p), "ns_per_op": ns, "p50_us": p50, "p99_us": p99,
+		})
+	}
+
+	// Straggler scenario: node 0 stalls injectedDelay on every first attempt
+	// of a search (odd request numbers); a duplicate sails through. Without
+	// hedging every lookup eats the stall; with a short hedge delay the
+	// duplicate wins and the tail collapses.
+	const injectedDelay = 40 * time.Millisecond
+	const ops = 64
+	straggler := func(hedgeAfter time.Duration) (float64, float64, float64, int64, error) {
+		var reqs atomic.Int64
+		opts := cluster.LocalOptions{
+			Router: cluster.RouterOptions{HedgeAfter: hedgeAfter},
+			Wrap: func(i int, h http.Handler) http.Handler {
+				return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+					if i == 0 && r.URL.Path == "/partition/search" && reqs.Add(1)%2 == 1 {
+						time.Sleep(injectedDelay)
+					}
+					h.ServeHTTP(w, r)
+				})
+			},
+		}
+		l, err := cluster.StartLocal(m, 2, opts)
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		defer l.Close()
+		ns, p50, p99 := routed(l, ops)
+		return ns, p50, p99, l.Router.Stats().Nodes[0].HedgeWins, nil
+	}
+
+	ns, p50, p99NoHedge, _, err := straggler(-1)
+	if err != nil {
+		return fmt.Errorf("straggler (no hedge): %w", err)
+	}
+	add("straggler_nohedge", map[string]float64{"ns_per_op": ns, "p50_us": p50, "p99_us": p99NoHedge})
+
+	ns, p50, p99Hedged, wins, err := straggler(5 * time.Millisecond)
+	if err != nil {
+		return fmt.Errorf("straggler (hedged): %w", err)
+	}
+	add("straggler_hedged", map[string]float64{
+		"ns_per_op": ns, "p50_us": p50, "p99_us": p99Hedged, "hedge_wins": float64(wins),
+	})
+
+	add("summary", map[string]float64{
+		"hedging_win":       p99NoHedge / p99Hedged,
+		"injected_delay_ms": float64(injectedDelay.Milliseconds()),
+		"ops_per_scenario":  ops,
+	})
+	return writeSnapshot(path, snap)
+}

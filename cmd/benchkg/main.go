@@ -24,6 +24,12 @@
 // rebuilding the index from weights:
 //
 //	benchkg -bench-build BENCH_build.json [-entities 2000]
+//
+// With -bench-cluster it measures the partitioned serving path
+// (internal/cluster): routed lookup latency over 1/2/4 in-process nodes,
+// plus a straggler scenario with and without hedged requests:
+//
+//	benchkg -bench-cluster BENCH_cluster.json [-entities 2000]
 package main
 
 import (
@@ -51,6 +57,7 @@ func main() {
 	benchPath := flag.String("bench-lookup", "", "train a model and write a lookup benchmark snapshot to this JSON file")
 	benchServePath := flag.String("bench-serve", "", "train a model and write a serving benchmark snapshot to this JSON file")
 	benchBuildPath := flag.String("bench-build", "", "train a model and write an index-construction benchmark snapshot to this JSON file")
+	benchClusterPath := flag.String("bench-cluster", "", "train a model and write a cluster serving benchmark snapshot to this JSON file")
 	clients := flag.Int("clients", 16, "concurrent clients for -bench-serve")
 	flag.Parse()
 
@@ -68,6 +75,12 @@ func main() {
 	}
 	if *benchBuildPath != "" {
 		if err := benchBuild(*benchBuildPath, *entities, *seed); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *benchClusterPath != "" {
+		if err := benchCluster(*benchClusterPath, *entities, *seed); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"flag"
+	"log"
+	"strings"
+	"time"
+
+	"emblookup/internal/cluster"
+	"emblookup/internal/core"
+	"emblookup/internal/kg"
+	"emblookup/internal/server"
+)
+
+// cmdClusterPart splits a trained model into P partition artifacts, each a
+// full model file whose index covers only that partition's rows (written via
+// the PR-3 index-artifact path, so node cold starts stay IO-bound), plus a
+// manifest recording the row bounds.
+func cmdClusterPart(args []string) {
+	fs := flag.NewFlagSet("cluster-part", flag.ExitOnError)
+	graphPath := fs.String("graph", "graph.bin", "graph file")
+	modelPath := fs.String("model", "model.bin", "model file")
+	dir := fs.String("out", "cluster", "output directory for node artifacts + manifest")
+	p := fs.Int("p", 2, "partition count")
+	fs.Parse(args)
+
+	g, err := kg.LoadFile(*graphPath)
+	if err != nil {
+		log.Fatalf("loading graph: %v", err)
+	}
+	model, err := core.LoadFile(*modelPath, g)
+	if err != nil {
+		log.Fatalf("loading model: %v", err)
+	}
+	start := time.Now()
+	man, err := cluster.SavePartitions(*dir, model, *p)
+	if err != nil {
+		log.Fatalf("partitioning: %v", err)
+	}
+	log.Printf("wrote %d partitions of %d rows to %s in %v",
+		man.Partitions, man.TotalRows, *dir, time.Since(start).Round(time.Millisecond))
+	for i := 0; i < man.Partitions; i++ {
+		log.Printf("  node %d: rows [%d, %d)", i, man.Bounds[i], man.Bounds[i+1])
+	}
+}
+
+// cmdClusterNode serves one partition: it loads only its slice of the index
+// and exposes the standard single-node API plus the partition-scoped batch
+// endpoint the router scatters to.
+func cmdClusterNode(args []string) {
+	fs := flag.NewFlagSet("cluster-node", flag.ExitOnError)
+	graphPath := fs.String("graph", "graph.bin", "graph file")
+	dir := fs.String("dir", "cluster", "partition directory from `emblookup cluster-part`")
+	part := fs.Int("part", 0, "partition id to serve")
+	addr := fs.String("addr", ":8081", "listen address")
+	fs.Parse(args)
+
+	g, err := kg.LoadFile(*graphPath)
+	if err != nil {
+		log.Fatalf("loading graph: %v", err)
+	}
+	model, man, err := cluster.LoadNodeModel(*dir, *part, g)
+	if err != nil {
+		log.Fatalf("loading partition model: %v", err)
+	}
+	info := server.PartitionInfo{
+		ID:    *part,
+		Count: man.Partitions,
+		RowLo: man.Bounds[*part],
+		RowHi: man.Bounds[*part+1],
+	}
+	h := server.New(g, model, server.WithPartition(info)).Handler()
+	log.Printf("serving partition %d/%d (rows [%d, %d)) on %s",
+		info.ID, info.Count, info.RowLo, info.RowHi, *addr)
+	log.Fatal(server.NewHTTPServer(*addr, h).ListenAndServe())
+}
+
+// cmdClusterRoute runs the coordinator: it embeds each query once locally
+// and scatter-gathers exact top-k over the partition nodes, with hedged
+// requests and failure-aware degradation.
+func cmdClusterRoute(args []string) {
+	fs := flag.NewFlagSet("cluster-route", flag.ExitOnError)
+	graphPath := fs.String("graph", "graph.bin", "graph file")
+	modelPath := fs.String("model", "model.bin", "model file (embedder weights; index unused)")
+	nodes := fs.String("nodes", "", "comma-separated node base URLs in partition order")
+	addr := fs.String("addr", ":8080", "listen address")
+	timeout := fs.Duration("timeout", 0, "per-request node timeout (0 = default 2s)")
+	hedgeAfter := fs.Duration("hedge-after", 0, "hedge a straggling node request after this delay (0 = default 50ms, negative disables)")
+	fs.Parse(args)
+
+	urls := strings.Split(*nodes, ",")
+	if *nodes == "" || len(urls) == 0 {
+		log.Fatal("cluster-route: -nodes requires at least one URL")
+	}
+	g, err := kg.LoadFile(*graphPath)
+	if err != nil {
+		log.Fatalf("loading graph: %v", err)
+	}
+	model, err := core.LoadFile(*modelPath, g)
+	if err != nil {
+		log.Fatalf("loading model: %v", err)
+	}
+	rt, err := cluster.NewRouter(model, urls, cluster.RouterOptions{
+		Timeout:    *timeout,
+		HedgeAfter: *hedgeAfter,
+	})
+	if err != nil {
+		log.Fatalf("router: %v", err)
+	}
+	defer rt.Close()
+	log.Printf("routing over %d partitions on %s", len(urls), *addr)
+	log.Fatal(server.NewHTTPServer(*addr, rt.Handler()).ListenAndServe())
+}
+
+// serveCluster is `emblookup serve -cluster N`: an in-process demo cluster —
+// N partition nodes on loopback listeners plus the router serving the public
+// address. Same code path as a real multi-machine deployment, minus the
+// machines.
+func serveCluster(g *kg.Graph, model *core.EmbLookup, addr string, n int) {
+	l, err := cluster.StartLocal(model, n, cluster.LocalOptions{})
+	if err != nil {
+		log.Fatalf("starting in-process cluster: %v", err)
+	}
+	defer l.Close()
+	for i, u := range l.URLs {
+		log.Printf("  node %d: rows [%d, %d) at %s",
+			i, l.Manifest.Bounds[i], l.Manifest.Bounds[i+1], u)
+	}
+	log.Printf("routing over %d in-process partitions on %s (graph: %s, %d entities)",
+		n, addr, g.Name, len(g.Entities))
+	log.Fatal(server.NewHTTPServer(addr, l.Router.Handler()).ListenAndServe())
+}

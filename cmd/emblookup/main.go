@@ -18,6 +18,15 @@
 //
 //	emblookup index save -graph graph.bin -model model.bin -out model.bin
 //	emblookup index load -graph graph.bin -model model.bin
+//
+// Cluster serving (DESIGN.md §9) splits the index across partition nodes and
+// scatter-gathers exact top-k through a router; `serve -cluster N` runs the
+// whole thing in one process for a local demo:
+//
+//	emblookup serve -graph graph.bin -model model.bin -cluster 4
+//	emblookup cluster-part  -graph graph.bin -model model.bin -out cluster/ -p 4
+//	emblookup cluster-node  -graph graph.bin -dir cluster/ -part 0 -addr :8081
+//	emblookup cluster-route -graph graph.bin -model model.bin -nodes http://localhost:8081,... -addr :8080
 package main
 
 import (
@@ -25,7 +34,6 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -56,13 +64,19 @@ func main() {
 		cmdStats(os.Args[2:])
 	case "index":
 		cmdIndex(os.Args[2:])
+	case "cluster-part":
+		cmdClusterPart(os.Args[2:])
+	case "cluster-node":
+		cmdClusterNode(os.Args[2:])
+	case "cluster-route":
+		cmdClusterRoute(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: emblookup <gen|train|query|bulk|serve|stats|index> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: emblookup <gen|train|query|bulk|serve|stats|index|cluster-part|cluster-node|cluster-route> [flags]")
 	os.Exit(2)
 }
 
@@ -199,6 +213,7 @@ func cmdServe(args []string) {
 	batchWindow := fs.Duration("batch-window", 0, "coalescer flush window (0 = default 200µs)")
 	cacheSize := fs.Int("cache-size", 0, "mention cache entries (0 = default 4096, negative disables the cache)")
 	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	clusterN := fs.Int("cluster", 0, "run an in-process demo cluster with N partition nodes behind a router")
 	fs.Parse(args)
 
 	g, err := kg.LoadFile(*graphPath)
@@ -211,6 +226,10 @@ func cmdServe(args []string) {
 	}
 	prov := model.IndexProvenance()
 	log.Printf("index %s in %v (also under /stats)", prov.Source, prov.Took.Round(time.Microsecond))
+	if *clusterN > 0 {
+		serveCluster(g, model, *addr, *clusterN)
+		return
+	}
 	sv, err := serve.New(model, serve.Options{
 		Shards:    *shards,
 		MaxBatch:  *batch,
@@ -229,7 +248,7 @@ func cmdServe(args []string) {
 	st := sv.Stats()
 	log.Printf("serving lookups on %s (graph: %s, %d entities, %d scan shards)",
 		*addr, g.Name, len(g.Entities), st.Shards)
-	log.Fatal(http.ListenAndServe(*addr, server.New(g, model, opts...).Handler()))
+	log.Fatal(server.NewHTTPServer(*addr, server.New(g, model, opts...).Handler()).ListenAndServe())
 }
 
 func cmdGen(args []string) {

@@ -1,0 +1,219 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"emblookup/internal/server"
+)
+
+// nodeClient is the router's view of one partition node: the HTTP client,
+// the per-node health state machine, and the hedging/retry counters.
+//
+// Health follows a simple degradation protocol: a node that fails
+// failThreshold consecutive requests is marked unhealthy and skipped by the
+// scatter (responses turn partial) until a /healthz probe succeeds, at
+// which point it rejoins. Success on the request path also heals the node
+// immediately — a probe is just the cheap way back when no traffic is being
+// risked on it.
+type nodeClient struct {
+	partition int
+	url       string
+	hc        *http.Client
+
+	failThreshold int32
+	consecFails   atomic.Int32
+	down          atomic.Bool
+
+	requests  atomic.Int64
+	failures  atomic.Int64
+	hedges    atomic.Int64
+	hedgeWins atomic.Int64
+}
+
+func newNodeClient(partition int, url string, failThreshold int) *nodeClient {
+	if failThreshold <= 0 {
+		failThreshold = 3
+	}
+	return &nodeClient{
+		partition:     partition,
+		url:           url,
+		hc:            &http.Client{},
+		failThreshold: int32(failThreshold),
+	}
+}
+
+// healthy reports whether the scatter should include this node.
+func (c *nodeClient) healthy() bool { return !c.down.Load() }
+
+func (c *nodeClient) markSuccess() {
+	c.consecFails.Store(0)
+	c.down.Store(false)
+}
+
+func (c *nodeClient) markFailure() {
+	c.failures.Add(1)
+	if c.consecFails.Add(1) >= c.failThreshold {
+		c.down.Store(true)
+	}
+}
+
+// search runs one scatter leg: POST the embedded query batch to the node's
+// partition-scoped endpoint under the router's full request discipline —
+// per-attempt timeout, bounded retries with real backoff, and a hedged
+// duplicate raced against a straggling attempt. The request body is
+// marshaled once and reused across attempts and hedges.
+func (c *nodeClient) search(ctx context.Context, k int, embs [][]float32, timeout, hedgeAfter time.Duration, retry RetryPolicy) ([][]server.PartitionHit, error) {
+	body, err := json.Marshal(server.PartitionSearchRequest{K: k, Queries: embs})
+	if err != nil {
+		return nil, err
+	}
+	var out [][]server.PartitionHit
+	err = retry.Do(RealSleep, func(int) error {
+		res, err := c.hedged(ctx, body, len(embs), timeout, hedgeAfter)
+		if err != nil {
+			return err
+		}
+		out = res
+		return nil
+	})
+	if err != nil {
+		c.markFailure()
+		return nil, err
+	}
+	c.markSuccess()
+	return out, nil
+}
+
+type searchReply struct {
+	hits   [][]server.PartitionHit
+	err    error
+	hedged bool // true when produced by the duplicate request
+}
+
+// hedged issues the request and, if no reply lands within hedgeAfter,
+// races a duplicate against the straggler — the first success wins and the
+// loser is cancelled by the shared context when the caller returns.
+// hedgeAfter ≤ 0 disables hedging.
+func (c *nodeClient) hedged(ctx context.Context, body []byte, nq int, timeout, hedgeAfter time.Duration) ([][]server.PartitionHit, error) {
+	if hedgeAfter <= 0 {
+		return c.post(ctx, body, nq, timeout)
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel() // aborts the losing duplicate as soon as a winner returns
+	ch := make(chan searchReply, 2)
+	fire := func(isHedge bool) {
+		go func() {
+			hits, err := c.post(cctx, body, nq, timeout)
+			ch <- searchReply{hits: hits, err: err, hedged: isHedge}
+		}()
+	}
+	fire(false)
+	timer := time.NewTimer(hedgeAfter)
+	defer timer.Stop()
+	inFlight := 1
+	var firstErr error
+	for {
+		select {
+		case r := <-ch:
+			if r.err == nil {
+				if r.hedged {
+					c.hedgeWins.Add(1)
+				}
+				return r.hits, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			inFlight--
+			if inFlight == 0 {
+				return nil, firstErr
+			}
+		case <-timer.C:
+			c.hedges.Add(1)
+			fire(true)
+			inFlight++
+		}
+	}
+}
+
+// post is one attempt against /partition/search.
+func (c *nodeClient) post(ctx context.Context, body []byte, nq int, timeout time.Duration) ([][]server.PartitionHit, error) {
+	cctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	c.requests.Add(1)
+	req, err := http.NewRequestWithContext(cctx, http.MethodPost, c.url+"/partition/search", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("cluster: node %s: status %d", c.url, resp.StatusCode)
+	}
+	var psr server.PartitionSearchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&psr); err != nil {
+		return nil, fmt.Errorf("cluster: node %s: decoding response: %w", c.url, err)
+	}
+	if len(psr.Results) != nq {
+		return nil, fmt.Errorf("cluster: node %s: %d result lists for %d queries", c.url, len(psr.Results), nq)
+	}
+	return psr.Results, nil
+}
+
+// probe checks /healthz with a short timeout; success heals the node.
+func (c *nodeClient) probe(ctx context.Context, timeout time.Duration) bool {
+	cctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(cctx, http.MethodGet, c.url+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 64))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false
+	}
+	c.markSuccess()
+	return true
+}
+
+// NodeStats is one node's health and traffic snapshot in RouterStats.
+type NodeStats struct {
+	Partition           int    `json:"partition"`
+	URL                 string `json:"url"`
+	Healthy             bool   `json:"healthy"`
+	Requests            int64  `json:"requests"`
+	Failures            int64  `json:"failures"`
+	Hedges              int64  `json:"hedges"`
+	HedgeWins           int64  `json:"hedgeWins"`
+	ConsecutiveFailures int32  `json:"consecutiveFailures"`
+}
+
+func (c *nodeClient) stats() NodeStats {
+	return NodeStats{
+		Partition:           c.partition,
+		URL:                 c.url,
+		Healthy:             c.healthy(),
+		Requests:            c.requests.Load(),
+		Failures:            c.failures.Load(),
+		Hedges:              c.hedges.Load(),
+		HedgeWins:           c.hedgeWins.Load(),
+		ConsecutiveFailures: c.consecFails.Load(),
+	}
+}

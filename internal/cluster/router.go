@@ -1,0 +1,390 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"slices"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"emblookup/internal/core"
+	"emblookup/internal/kg"
+	"emblookup/internal/lookup"
+	"emblookup/internal/server"
+)
+
+// RouterOptions tunes the coordinator's request discipline. The zero value
+// picks sensible defaults for a LAN deployment.
+type RouterOptions struct {
+	// Timeout bounds one attempt against one node (default 2s).
+	Timeout time.Duration
+	// Retry is the per-node retry/backoff policy (default 3 attempts,
+	// 10ms base backoff).
+	Retry RetryPolicy
+	// HedgeAfter races a duplicate request against a node that has not
+	// answered within this delay — the tail-latency insurance of
+	// partitioned fan-outs, where the slowest partition gates every query
+	// (default 50ms; negative disables hedging).
+	HedgeAfter time.Duration
+	// FailThreshold consecutive failed requests mark a node unhealthy
+	// (default 3); an unhealthy node is skipped — responses turn partial —
+	// until a health probe passes.
+	FailThreshold int
+	// ProbeInterval is how often unhealthy nodes are probed for recovery
+	// (default 1s).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one /healthz probe (default 500ms).
+	ProbeTimeout time.Duration
+	// Parallelism bounds the router's local embedding fan-out
+	// (≤0 = GOMAXPROCS).
+	Parallelism int
+}
+
+func (o *RouterOptions) fill() {
+	if o.Timeout <= 0 {
+		o.Timeout = 2 * time.Second
+	}
+	if o.Retry.Attempts == 0 {
+		o.Retry = DefaultRetryPolicy()
+	}
+	if o.HedgeAfter == 0 {
+		o.HedgeAfter = 50 * time.Millisecond
+	}
+	if o.FailThreshold <= 0 {
+		o.FailThreshold = 3
+	}
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = time.Second
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = 500 * time.Millisecond
+	}
+}
+
+// Router is the cluster coordinator: it embeds each query once locally
+// (it holds the full model weights; nodes hold only index slices),
+// scatter-gathers the partition-scoped search over every healthy node, and
+// merges per-partition hits under the canonical (Dist, Row) order — so a
+// P-node cluster returns bit-identical candidates to the single-process
+// sharded index. When partitions are missing (unhealthy or failing nodes)
+// the merge still returns the surviving partitions' exact results, flagged
+// Partial. Safe for concurrent use; Close stops the health prober.
+type Router struct {
+	model *core.EmbLookup
+	nodes []*nodeClient
+	opts  RouterOptions
+	// MaxK bounds the per-request candidate budget of the HTTP front-end.
+	MaxK int
+
+	partials atomic.Int64
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewRouter builds a coordinator over the given node base URLs, one per
+// partition in partition order. model must be the full (unpartitioned)
+// trained model the nodes were partitioned from. The background health
+// prober starts immediately; call Close to stop it.
+func NewRouter(model *core.EmbLookup, nodeURLs []string, opts RouterOptions) (*Router, error) {
+	if len(nodeURLs) == 0 {
+		return nil, fmt.Errorf("cluster: router needs at least one node URL")
+	}
+	opts.fill()
+	r := &Router{
+		model: model,
+		opts:  opts,
+		MaxK:  1000,
+		stop:  make(chan struct{}),
+	}
+	for i, u := range nodeURLs {
+		r.nodes = append(r.nodes, newNodeClient(i, u, opts.FailThreshold))
+	}
+	r.wg.Add(1)
+	go r.probeLoop()
+	return r, nil
+}
+
+// probeLoop periodically re-probes unhealthy nodes so a recovered node
+// rejoins the scatter without waiting for traffic to be risked on it.
+func (r *Router) probeLoop() {
+	defer r.wg.Done()
+	t := time.NewTicker(r.opts.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+			for _, n := range r.nodes {
+				if !n.healthy() {
+					n.probe(context.Background(), r.opts.ProbeTimeout)
+				}
+			}
+		}
+	}
+}
+
+// Close stops the health prober. In-flight lookups finish normally.
+func (r *Router) Close() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	r.wg.Wait()
+}
+
+// Partitions returns the cluster size P.
+func (r *Router) Partitions() int { return len(r.nodes) }
+
+// Result is one routed lookup: the merged candidates plus the degradation
+// flags — Partial is true when at least one partition contributed nothing,
+// and Failed lists those partition ids.
+type Result struct {
+	Candidates []lookup.Candidate
+	Partial    bool
+	Failed     []int
+}
+
+// BulkResult is a routed batch; PerQuery aligns with the query order and
+// the degradation flags cover the whole batch (all queries of one scatter
+// share the same surviving node set).
+type BulkResult struct {
+	PerQuery [][]lookup.Candidate
+	Partial  bool
+	Failed   []int
+}
+
+// Lookup answers one query through the cluster.
+func (r *Router) Lookup(q string, k int) Result {
+	br := r.BulkLookup([]string{q}, k)
+	return Result{Candidates: br.PerQuery[0], Partial: br.Partial, Failed: br.Failed}
+}
+
+// BulkLookup embeds the batch once locally and scatters it to every
+// healthy node in one partition-scoped request per node.
+func (r *Router) BulkLookup(queries []string, k int) BulkResult {
+	out := BulkResult{PerQuery: make([][]lookup.Candidate, len(queries))}
+	if len(queries) == 0 {
+		return out
+	}
+	if k <= 0 {
+		return out
+	}
+	// Same over-fetch discipline as core.EmbLookup.Lookup: alias rows can
+	// collapse onto one entity, so dedupe needs headroom.
+	fetch := k
+	if r.model.Config().IndexAliases {
+		fetch = k * 3
+	}
+	embs := r.model.EmbedAll(queries, r.opts.Parallelism)
+
+	perNode := make([][][]server.PartitionHit, len(r.nodes))
+	errs := make([]error, len(r.nodes))
+	skipped := make([]bool, len(r.nodes))
+	var wg sync.WaitGroup
+	for i, n := range r.nodes {
+		if !n.healthy() {
+			skipped[i] = true
+			continue
+		}
+		wg.Add(1)
+		go func(i int, n *nodeClient) {
+			defer wg.Done()
+			perNode[i], errs[i] = n.search(context.Background(), fetch, embs,
+				r.opts.Timeout, r.opts.HedgeAfter, r.opts.Retry)
+		}(i, n)
+	}
+	wg.Wait()
+
+	for i := range r.nodes {
+		if skipped[i] || errs[i] != nil {
+			out.Failed = append(out.Failed, i)
+		}
+	}
+	out.Partial = len(out.Failed) > 0
+	if out.Partial {
+		r.partials.Add(1)
+	}
+
+	var all []server.PartitionHit
+	for qi := range queries {
+		all = all[:0]
+		for i := range r.nodes {
+			if perNode[i] != nil {
+				all = append(all, perNode[i][qi]...)
+			}
+		}
+		out.PerQuery[qi] = mergeHits(all, fetch, k)
+	}
+	return out
+}
+
+// mergeHits turns the union of per-partition top-fetch hits into the final
+// candidate list, replaying the single-process pipeline exactly: sort under
+// the canonical (Dist, Row) order, truncate to the global top-fetch —
+// because each partition contributed its own exact top-fetch, the first
+// fetch entries of the sorted union ARE the global top-fetch — then dedupe
+// alias rows onto entities, best first, down to k.
+func mergeHits(all []server.PartitionHit, fetch, k int) []lookup.Candidate {
+	slices.SortFunc(all, func(a, b server.PartitionHit) int {
+		switch {
+		case a.Dist < b.Dist:
+			return -1
+		case a.Dist > b.Dist:
+			return 1
+		case a.Row < b.Row:
+			return -1
+		case a.Row > b.Row:
+			return 1
+		}
+		return 0
+	})
+	if len(all) > fetch {
+		all = all[:fetch]
+	}
+	seen := make(map[int32]bool, len(all))
+	cands := make([]lookup.Candidate, 0, min(k, len(all)))
+	for _, h := range all {
+		if seen[h.Entity] {
+			continue
+		}
+		seen[h.Entity] = true
+		cands = append(cands, lookup.Candidate{ID: kg.EntityID(h.Entity), Score: -float64(h.Dist)})
+		if len(cands) == k {
+			break
+		}
+	}
+	return cands
+}
+
+// RouterStats is the coordinator's observability snapshot.
+type RouterStats struct {
+	Partitions       int         `json:"partitions"`
+	Healthy          int         `json:"healthy"`
+	PartialResponses int64       `json:"partialResponses"`
+	Nodes            []NodeStats `json:"nodes"`
+}
+
+// Stats snapshots per-node health and traffic counters.
+func (r *Router) Stats() RouterStats {
+	st := RouterStats{Partitions: len(r.nodes), PartialResponses: r.partials.Load()}
+	for _, n := range r.nodes {
+		ns := n.stats()
+		if ns.Healthy {
+			st.Healthy++
+		}
+		st.Nodes = append(st.Nodes, ns)
+	}
+	return st
+}
+
+// RouteResponse is the router front-end's /lookup reply — the single-node
+// LookupResponse shape plus the degradation flags, so a client can tell an
+// exact answer from a surviving-partitions one.
+type RouteResponse struct {
+	Query   string       `json:"query"`
+	TookUs  int64        `json:"tookUs"`
+	Partial bool         `json:"partial,omitempty"`
+	Failed  []int        `json:"failedPartitions,omitempty"`
+	Results []server.Hit `json:"results"`
+}
+
+// Handler returns the router's HTTP front-end: the same /lookup, /bulk,
+// /stats, /healthz surface as a single node, answered by the cluster.
+func (r *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /lookup", r.handleLookup)
+	mux.HandleFunc("POST /bulk", r.handleBulk)
+	mux.HandleFunc("GET /stats", r.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func (r *Router) parseK(req *http.Request) (int, error) {
+	k := 10
+	if ks := req.URL.Query().Get("k"); ks != "" {
+		v, err := strconv.Atoi(ks)
+		if err != nil || v <= 0 || v > r.MaxK {
+			return 0, fmt.Errorf("\"k\" must be an integer in 1..%d", r.MaxK)
+		}
+		k = v
+	}
+	return k, nil
+}
+
+func (r *Router) hits(cands []lookup.Candidate) []server.Hit {
+	g := r.model.Graph()
+	hits := make([]server.Hit, len(cands))
+	for i, c := range cands {
+		hits[i] = server.Hit{ID: int32(c.ID), Label: g.Label(c.ID), Score: c.Score}
+	}
+	return hits
+}
+
+func (r *Router) handleLookup(w http.ResponseWriter, req *http.Request) {
+	q := req.URL.Query().Get("q")
+	if q == "" {
+		http.Error(w, `missing "q" parameter`, http.StatusBadRequest)
+		return
+	}
+	k, err := r.parseK(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	start := time.Now()
+	res := r.Lookup(q, k)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(RouteResponse{
+		Query:   q,
+		TookUs:  time.Since(start).Microseconds(),
+		Partial: res.Partial,
+		Failed:  res.Failed,
+		Results: r.hits(res.Candidates),
+	})
+}
+
+// handleBulk mirrors the single-node /bulk: one query per body line, one
+// NDJSON object per line back, each carrying the batch's degradation flags.
+func (r *Router) handleBulk(w http.ResponseWriter, req *http.Request) {
+	k, err := r.parseK(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	const maxBulkBytes = 1 << 20
+	const maxBulkQueries = 4096
+	req.Body = http.MaxBytesReader(w, req.Body, maxBulkBytes)
+	queries, err := server.ReadQueryLines(req.Body, maxBulkQueries)
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			http.Error(w, fmt.Sprintf("request body exceeds %d bytes", maxBulkBytes), http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	res := r.BulkLookup(queries, k)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	for i, q := range queries {
+		enc.Encode(RouteResponse{
+			Query:   q,
+			Partial: res.Partial,
+			Failed:  res.Failed,
+			Results: r.hits(res.PerQuery[i]),
+		})
+	}
+}
+
+func (r *Router) handleStats(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(r.Stats())
+}

@@ -6,12 +6,21 @@
 // accounted on a virtual clock instead of being slept. The result semantics
 // come from local indexes that, like the real services, know the full alias
 // set of every entity.
+//
+// Request discipline is the cluster router's (internal/cluster): the same
+// RetryPolicy drives retries against transient failures, and the
+// parallelism-cap accounting lives in cluster.Gate — backoff between
+// virtual attempts charges the virtual clock exactly where a live
+// deployment would sleep, so simulated and real networking share one code
+// path.
 package remote
 
 import (
+	"errors"
 	"sync/atomic"
 	"time"
 
+	"emblookup/internal/cluster"
 	"emblookup/internal/lookup"
 )
 
@@ -21,6 +30,13 @@ type Config struct {
 	Latency time.Duration
 	// MaxParallel is the endpoint's per-client parallelism cap.
 	MaxParallel int
+	// Retry is the client-side retry/backoff policy applied when the
+	// endpoint fails a request (zero value = single attempt).
+	Retry cluster.RetryPolicy
+	// TransientFailures makes the endpoint drop its first N requests —
+	// the rate-limit hiccups and 5xx bursts a real endpoint serves. Each
+	// dropped request still costs a round trip and flows through Retry.
+	TransientFailures int
 }
 
 // WikidataAPIConfig models the Wikidata search endpoint: moderate latency,
@@ -35,13 +51,17 @@ func SearXConfig() Config {
 	return Config{Latency: 250 * time.Millisecond, MaxParallel: 4}
 }
 
+// errTransient is the simulated endpoint's failure mode.
+var errTransient = errors.New("remote: simulated transient failure")
+
 // Service wraps a result backend with virtual latency accounting. It
 // implements both lookup.Service and lookup.VirtualClock.
 type Service struct {
-	name     string
-	backend  lookup.Service
-	cfg      Config
-	requests atomic.Int64
+	name    string
+	backend lookup.Service
+	cfg     Config
+	gate    *cluster.Gate
+	dropped atomic.Int64
 }
 
 // New wraps backend as a simulated remote endpoint.
@@ -49,32 +69,44 @@ func New(name string, backend lookup.Service, cfg Config) *Service {
 	if cfg.MaxParallel <= 0 {
 		cfg.MaxParallel = 1
 	}
-	return &Service{name: name, backend: backend, cfg: cfg}
+	return &Service{
+		name:    name,
+		backend: backend,
+		cfg:     cfg,
+		gate:    cluster.NewGate(cfg.MaxParallel, cfg.Latency),
+	}
 }
 
 // Name implements lookup.Service.
 func (s *Service) Name() string { return s.name }
 
-// Lookup performs the backend lookup and charges one request of virtual
-// latency.
+// Lookup performs the backend lookup under the shared request discipline:
+// every attempt (including dropped ones) is admitted through the gate and
+// charges a round trip; retry backoff charges the virtual clock through the
+// same Sleeper seam a live client would sleep on.
 func (s *Service) Lookup(q string, k int) []lookup.Candidate {
-	s.requests.Add(1)
-	return s.backend.Lookup(q, k)
+	var res []lookup.Candidate
+	// Ignore the final error: a service that exhausts its retry budget
+	// returns no candidates, which is what a downstream annotation system
+	// sees from a dead endpoint.
+	_ = s.cfg.Retry.Do(s.gate, func(int) error {
+		s.gate.Admit()
+		if s.dropped.Add(1) <= int64(s.cfg.TransientFailures) {
+			return errTransient
+		}
+		res = s.backend.Lookup(q, k)
+		return nil
+	})
+	return res
 }
 
 // VirtualElapsed returns the simulated network time: with MaxParallel
-// requests in flight, n requests take ceil(n/MaxParallel) round trips.
-func (s *Service) VirtualElapsed() time.Duration {
-	n := s.requests.Load()
-	if n == 0 {
-		return 0
-	}
-	rounds := (n + int64(s.cfg.MaxParallel) - 1) / int64(s.cfg.MaxParallel)
-	return time.Duration(rounds) * s.cfg.Latency
-}
+// requests in flight, n requests take ceil(n/MaxParallel) round trips, plus
+// any retry backoff charged by the shared policy.
+func (s *Service) VirtualElapsed() time.Duration { return s.gate.Elapsed() }
 
-// ResetVirtual clears the request counter.
-func (s *Service) ResetVirtual() { s.requests.Store(0) }
+// ResetVirtual clears the request counter and charged backoff.
+func (s *Service) ResetVirtual() { s.gate.Reset() }
 
-// Requests returns how many lookups were issued since the last reset.
-func (s *Service) Requests() int64 { return s.requests.Load() }
+// Requests returns how many requests were issued since the last reset.
+func (s *Service) Requests() int64 { return s.gate.Requests() }

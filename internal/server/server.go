@@ -6,6 +6,8 @@
 //	GET /bulk  (POST body: one query per line) → NDJSON results
 //	GET /stats                    → index, graph, and serving statistics
 //	GET /healthz                  → 200 ok
+//	POST /partition/search        → partition-scoped batch search (only
+//	                                with WithPartition — see internal/cluster)
 //	GET /debug/pprof/...          → profiling (only with WithPprof)
 //
 // Handlers call the model's concurrency-safe entry points directly:
@@ -20,7 +22,9 @@ package server
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
@@ -35,12 +39,22 @@ import (
 // Server routes lookup requests to a model. Create with New and mount via
 // Handler.
 type Server struct {
-	graph *kg.Graph
-	model *core.EmbLookup
-	serve *serve.Serve
-	pprof bool
+	graph     *kg.Graph
+	model     *core.EmbLookup
+	serve     *serve.Serve
+	pprof     bool
+	partition *PartitionInfo
 	// MaxK bounds the per-request candidate budget.
 	MaxK int
+	// MaxBulkQueries bounds how many queries one /bulk or
+	// /partition/search request may carry; more is a 400, never a silent
+	// truncation.
+	MaxBulkQueries int
+	// MaxBulkBytes bounds the /bulk request body; larger bodies are a 413.
+	MaxBulkBytes int64
+	// MaxPartitionBytes bounds the /partition/search body (embeddings are
+	// bulkier than query strings).
+	MaxPartitionBytes int64
 }
 
 // Option configures a Server at construction.
@@ -61,11 +75,34 @@ func WithPprof() Option {
 
 // New builds a server over a trained model.
 func New(g *kg.Graph, model *core.EmbLookup, opts ...Option) *Server {
-	s := &Server{graph: g, model: model, MaxK: 1000}
+	s := &Server{
+		graph:             g,
+		model:             model,
+		MaxK:              1000,
+		MaxBulkQueries:    4096,
+		MaxBulkBytes:      1 << 20,
+		MaxPartitionBytes: 64 << 20,
+	}
 	for _, o := range opts {
 		o(s)
 	}
 	return s
+}
+
+// NewHTTPServer wraps h in an http.Server with the listener timeouts a
+// production deployment needs: slow-loris header reads, stalled request
+// bodies, and wedged response writes all get bounded instead of pinning a
+// connection forever. Every CLI serving mode (serve, cluster-node,
+// cluster-route) listens through this.
+func NewHTTPServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
 }
 
 // Handler returns the HTTP handler with all routes mounted.
@@ -77,6 +114,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	if s.partition != nil {
+		mux.HandleFunc("POST /partition/search", s.handlePartitionSearch)
+	}
 	if s.pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -102,6 +142,27 @@ func (s *Server) lookupBulk(queries []string, k int) [][]lookup.Candidate {
 		return s.serve.BulkLookup(queries, k)
 	}
 	return s.model.BulkLookup(queries, k, 0)
+}
+
+// ReadQueryLines reads one query per line from r, skipping blank lines and
+// failing once maxQueries is exceeded — shared by the single-node /bulk
+// handler and the cluster router's front-end so both enforce the same
+// bound instead of silently truncating.
+func ReadQueryLines(r io.Reader, maxQueries int) ([]string, error) {
+	var queries []string
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		if q := sc.Text(); q != "" {
+			queries = append(queries, q)
+		}
+		if len(queries) > maxQueries {
+			return nil, fmt.Errorf("query count exceeds limit %d", maxQueries)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("reading body: %w", err)
+	}
+	return queries, nil
 }
 
 // Hit is one JSON result row.
@@ -167,22 +228,25 @@ func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleBulk reads one query per line from the body and streams one JSON
-// object per line back — the bulk mode the paper's applications need.
+// object per line back — the bulk mode the paper's applications need. The
+// body is bounded by MaxBulkBytes (413 past it) and the query count by
+// MaxBulkQueries (400 past it) — over-limit requests fail loudly instead of
+// being silently truncated.
 func (s *Server) handleBulk(w http.ResponseWriter, r *http.Request) {
 	k, err := s.parseK(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	var queries []string
-	sc := bufio.NewScanner(r.Body)
-	for sc.Scan() {
-		if q := sc.Text(); q != "" {
-			queries = append(queries, q)
+	r.Body = http.MaxBytesReader(w, r.Body, s.MaxBulkBytes)
+	queries, err := ReadQueryLines(r.Body, s.MaxBulkQueries)
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			http.Error(w, fmt.Sprintf("request body exceeds %d bytes", s.MaxBulkBytes), http.StatusRequestEntityTooLarge)
+			return
 		}
-	}
-	if err := sc.Err(); err != nil {
-		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	start := time.Now()
@@ -205,15 +269,16 @@ func (s *Server) handleBulk(w http.ResponseWriter, r *http.Request) {
 // graph and retrained the quantizer ("rebuilt"); IndexAttachUs is how long
 // that took.
 type StatsResponse struct {
-	Graph         string       `json:"graph"`
-	Entities      int          `json:"entities"`
-	IndexRows     int          `json:"indexRows"`
-	IndexBytes    int          `json:"indexBytes"`
-	Dim           int          `json:"dim"`
-	Compressed    bool         `json:"compressed"`
-	IndexSource   string       `json:"indexSource,omitempty"`
-	IndexAttachUs int64        `json:"indexAttachUs,omitempty"`
-	Serving       *serve.Stats `json:"serving,omitempty"`
+	Graph         string         `json:"graph"`
+	Entities      int            `json:"entities"`
+	IndexRows     int            `json:"indexRows"`
+	IndexBytes    int            `json:"indexBytes"`
+	Dim           int            `json:"dim"`
+	Compressed    bool           `json:"compressed"`
+	IndexSource   string         `json:"indexSource,omitempty"`
+	IndexAttachUs int64          `json:"indexAttachUs,omitempty"`
+	Serving       *serve.Stats   `json:"serving,omitempty"`
+	Partition     *PartitionInfo `json:"partition,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -233,6 +298,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		st := s.serve.Stats()
 		resp.Serving = &st
 	}
+	resp.Partition = s.partition
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)
 }

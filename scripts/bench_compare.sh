@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # bench_compare.sh — regenerate the benchmark snapshots into a scratch
 # directory and diff them against the committed BENCH_lookup.json /
-# BENCH_serve.json / BENCH_build.json with cmd/benchcompare. Exits non-zero
+# BENCH_serve.json / BENCH_build.json / BENCH_cluster.json with
+# cmd/benchcompare. Exits non-zero
 # when any timing metric regressed by more than 20%. `make bench-compare`
 # runs this.
 set -euo pipefail
@@ -14,6 +15,7 @@ echo "== regenerating snapshots =="
 go run ./cmd/benchkg -bench-lookup "$tmp/BENCH_lookup.json"
 go run ./cmd/benchkg -bench-serve "$tmp/BENCH_serve.json"
 go run ./cmd/benchkg -bench-build "$tmp/BENCH_build.json"
+go run ./cmd/benchkg -bench-cluster "$tmp/BENCH_cluster.json"
 
 echo "== lookup snapshot vs committed =="
 go run ./cmd/benchcompare BENCH_lookup.json "$tmp/BENCH_lookup.json"
@@ -23,5 +25,8 @@ go run ./cmd/benchcompare BENCH_serve.json "$tmp/BENCH_serve.json"
 
 echo "== build snapshot vs committed =="
 go run ./cmd/benchcompare BENCH_build.json "$tmp/BENCH_build.json"
+
+echo "== cluster snapshot vs committed =="
+go run ./cmd/benchcompare BENCH_cluster.json "$tmp/BENCH_cluster.json"
 
 echo "bench-compare: OK"

@@ -29,4 +29,8 @@ echo "== build benchmarks (short) =="
 go test -run '^$' -bench 'BenchmarkPQBuild|BenchmarkIVFBuild' \
     -benchtime 3x .
 
+echo "== cluster benchmarks (short) =="
+go test -run '^$' -bench 'BenchmarkClusterLookup' \
+    -benchtime 10x ./internal/cluster
+
 echo "verify: OK"
