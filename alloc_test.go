@@ -1,0 +1,55 @@
+package emblookup_test
+
+// The allocation guard for the observability subsystem: metrics recording
+// and nil-trace span plumbing must not cost the hot path a single
+// allocation. These are the same budgets BenchmarkLookupAllocs reports and
+// cmd/benchkg snapshots into BENCH_lookup.json — asserted here as a test so
+// `make verify` (and plain `go test`) fails loudly if instrumentation ever
+// leaks an allocation into the query path.
+
+import (
+	"testing"
+
+	"emblookup/internal/obs"
+)
+
+// Allocation budgets of the end-to-end query path with metrics enabled:
+// Lookup = result slice + its candidate backing + two query-normalization
+// scratch strings; Embed = the returned vector + normalization scratch.
+const (
+	maxLookupAllocs = 4
+	maxEmbedAllocs  = 3
+)
+
+func TestLookupAllocsWithMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation guard trains a model; skipped in -short")
+	}
+	_, m, _ := model(t)
+	obs.Default().SetEnabled(true)
+
+	// Warm the scratch pools and lazily-built index state so steady-state
+	// allocation is what gets measured.
+	for i := 0; i < 8; i++ {
+		m.Lookup("Bramonia Ridge", 10)
+		m.Embed("Bramonia Ridge")
+		m.LookupTrace(nil, "Bramonia Ridge", 10)
+	}
+
+	if n := testing.AllocsPerRun(200, func() {
+		m.Lookup("Bramonia Ridge", 10)
+	}); n > maxLookupAllocs {
+		t.Errorf("Lookup with metrics enabled: %.1f allocs/op, budget %d", n, maxLookupAllocs)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		m.Embed("Bramonia Ridge")
+	}); n > maxEmbedAllocs {
+		t.Errorf("Embed with metrics enabled: %.1f allocs/op, budget %d", n, maxEmbedAllocs)
+	}
+	// A nil trace must be completely free: same budget as the untraced call.
+	if n := testing.AllocsPerRun(200, func() {
+		m.LookupTrace(nil, "Bramonia Ridge", 10)
+	}); n > maxLookupAllocs {
+		t.Errorf("LookupTrace(nil) with metrics enabled: %.1f allocs/op, budget %d", n, maxLookupAllocs)
+	}
+}

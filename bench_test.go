@@ -62,8 +62,8 @@ func env(b *testing.B) *experiments.Env {
 }
 
 // model lazily trains one EmbLookup over a 2000-entity graph for the
-// micro-benchmarks.
-func model(b *testing.B) (*kg.Graph, *core.EmbLookup, *core.EmbLookup) {
+// micro-benchmarks and the allocation-guard test.
+func model(b testing.TB) (*kg.Graph, *core.EmbLookup, *core.EmbLookup) {
 	b.Helper()
 	modelOnce.Do(func() {
 		g, _ := kg.Generate(kg.DefaultGeneratorConfig(kg.WikidataProfile, 2000))

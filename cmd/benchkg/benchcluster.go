@@ -11,6 +11,7 @@ import (
 	"emblookup/internal/core"
 	"emblookup/internal/kg"
 	"emblookup/internal/mathx"
+	"emblookup/internal/obs"
 )
 
 // benchCluster measures the partitioned serving path (internal/cluster):
@@ -57,15 +58,30 @@ func benchCluster(path string, entities int, seed uint64) error {
 			float64(percentile(lats, 0.99).Microseconds())
 	}
 
-	// Healthy clusters: scatter-gather cost as P grows, hedging idle.
-	base := cluster.RouterOptions{HedgeAfter: -1}
+	// Healthy clusters: scatter-gather cost as P grows, hedging idle. Each
+	// run gets its own metrics registry; the widest cluster's registry view
+	// (routed latency histogram + scatter totals) lands in the snapshot.
 	for _, p := range []int{1, 2, 4} {
-		l, err := cluster.StartLocal(m, p, cluster.LocalOptions{Router: base})
+		reg := obs.New()
+		l, err := cluster.StartLocal(m, p, cluster.LocalOptions{
+			Router: cluster.RouterOptions{HedgeAfter: -1, Registry: reg},
+		})
 		if err != nil {
 			return fmt.Errorf("cluster P=%d: %w", p, err)
 		}
 		l.Router.Lookup(mix[0], 10) // warm connections
 		ns, p50, p99 := routed(l, 256)
+		if p == 4 {
+			lat := reg.Histogram("emblookup_cluster_lookup_seconds").Summary()
+			tot := l.Router.Stats().Totals
+			add("obs_cluster_4node", map[string]float64{
+				"lookups":       float64(lat.Count),
+				"p50_us":        lat.P50Us,
+				"p95_us":        lat.P95Us,
+				"node_requests": float64(tot.Requests),
+				"node_failures": float64(tot.Failures),
+			})
+		}
 		l.Close()
 		add(fmt.Sprintf("cluster_%dnode", p), map[string]float64{
 			"nodes": float64(p), "ns_per_op": ns, "p50_us": p50, "p99_us": p99,
@@ -78,10 +94,10 @@ func benchCluster(path string, entities int, seed uint64) error {
 	// duplicate wins and the tail collapses.
 	const injectedDelay = 40 * time.Millisecond
 	const ops = 64
-	straggler := func(hedgeAfter time.Duration) (float64, float64, float64, int64, error) {
+	straggler := func(hedgeAfter time.Duration) (float64, float64, float64, cluster.RouterStats, error) {
 		var reqs atomic.Int64
 		opts := cluster.LocalOptions{
-			Router: cluster.RouterOptions{HedgeAfter: hedgeAfter},
+			Router: cluster.RouterOptions{HedgeAfter: hedgeAfter, Registry: obs.New()},
 			Wrap: func(i int, h http.Handler) http.Handler {
 				return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 					if i == 0 && r.URL.Path == "/partition/search" && reqs.Add(1)%2 == 1 {
@@ -93,11 +109,11 @@ func benchCluster(path string, entities int, seed uint64) error {
 		}
 		l, err := cluster.StartLocal(m, 2, opts)
 		if err != nil {
-			return 0, 0, 0, 0, err
+			return 0, 0, 0, cluster.RouterStats{}, err
 		}
 		defer l.Close()
 		ns, p50, p99 := routed(l, ops)
-		return ns, p50, p99, l.Router.Stats().Nodes[0].HedgeWins, nil
+		return ns, p50, p99, l.Router.Stats(), nil
 	}
 
 	ns, p50, p99NoHedge, _, err := straggler(-1)
@@ -106,12 +122,15 @@ func benchCluster(path string, entities int, seed uint64) error {
 	}
 	add("straggler_nohedge", map[string]float64{"ns_per_op": ns, "p50_us": p50, "p99_us": p99NoHedge})
 
-	ns, p50, p99Hedged, wins, err := straggler(5 * time.Millisecond)
+	ns, p50, p99Hedged, hst, err := straggler(5 * time.Millisecond)
 	if err != nil {
 		return fmt.Errorf("straggler (hedged): %w", err)
 	}
 	add("straggler_hedged", map[string]float64{
-		"ns_per_op": ns, "p50_us": p50, "p99_us": p99Hedged, "hedge_wins": float64(wins),
+		"ns_per_op": ns, "p50_us": p50, "p99_us": p99Hedged,
+		"hedge_wins": float64(hst.Nodes[0].HedgeWins),
+		"hedges":     float64(hst.Totals.Hedges),
+		"retries":    float64(hst.Totals.Retries),
 	})
 
 	add("summary", map[string]float64{

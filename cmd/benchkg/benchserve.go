@@ -9,6 +9,7 @@ import (
 	"emblookup/internal/core"
 	"emblookup/internal/kg"
 	"emblookup/internal/mathx"
+	"emblookup/internal/obs"
 	"emblookup/internal/serve"
 )
 
@@ -136,7 +137,8 @@ func benchServe(path string, entities, clients int, seed uint64) error {
 			wall
 	}
 
-	svFull, err := serve.New(m, serve.Options{MaxBatch: clients, CacheSize: 4096})
+	regFull := obs.New()
+	svFull, err := serve.New(m, serve.Options{MaxBatch: clients, CacheSize: 4096, Registry: regFull})
 	if err != nil {
 		return fmt.Errorf("serve (full): %w", err)
 	}
@@ -151,9 +153,23 @@ func benchServe(path string, entities, clients int, seed uint64) error {
 		"cache_hit_rate": st.Cache.HitRate(),
 	})
 
+	// The same phase as the metrics registry saw it: the serve-side latency
+	// histogram (log-bucketed, so quantiles are within ~6% of exact) plus the
+	// pull-time cache collectors. Diffing this row against the externally
+	// measured serve_concurrent row guards the instrumentation itself.
+	obsLat := regFull.Histogram("emblookup_serve_lookup_seconds").Summary()
+	add("obs_serve_concurrent", map[string]float64{
+		"lookups":      float64(obsLat.Count),
+		"p50_us":       obsLat.P50Us,
+		"p95_us":       obsLat.P95Us,
+		"cache_hits":   float64(st.Cache.Hits),
+		"cache_misses": float64(st.Cache.Misses),
+	})
+
 	// Coalesced serving without the cache: every query reaches the model, so
 	// the per-query wall cost isolates what micro-batching itself delivers.
-	svCo, err := serve.New(m, serve.Options{MaxBatch: clients, CacheSize: -1})
+	regCo := obs.New()
+	svCo, err := serve.New(m, serve.Options{MaxBatch: clients, CacheSize: -1, Registry: regCo})
 	if err != nil {
 		return fmt.Errorf("serve (coalesced): %w", err)
 	}
@@ -168,6 +184,33 @@ func benchServe(path string, entities, clients int, seed uint64) error {
 		"ns_per_query":   coNsPerQuery,
 		"avg_batch_size": coSt.Coalescer.AvgBatchSize,
 	})
+
+	// Coalescer internals from its registry histograms: the batch-size
+	// distribution and how long requests sat in the coalescing window.
+	coBatch := regCo.Histogram("emblookup_coalescer_batch_size").Snapshot()
+	coWait := regCo.Histogram("emblookup_coalescer_wait_seconds").Summary()
+	obsCo := map[string]float64{
+		"batches":     float64(coBatch.Total),
+		"batch_p50":   float64(coBatch.Quantile(0.50)),
+		"wait_p50_us": coWait.P50Us,
+		"wait_p95_us": coWait.P95Us,
+	}
+	if coBatch.Total > 0 {
+		obsCo["batch_mean"] = float64(coBatch.Sum) / float64(coBatch.Total)
+	}
+	add("obs_coalescer", obsCo)
+
+	// Per-stage lookup latency as recorded by the core instrumentation over
+	// the whole run — the decomposition /metrics serves in production.
+	def := obs.Default()
+	stages := map[string]float64{}
+	for _, stage := range []string{"embed", "search", "merge"} {
+		s := def.Histogram(obs.Labels("emblookup_lookup_stage_seconds", "stage", stage)).Summary()
+		stages[stage+"_p50_us"] = s.P50Us
+		stages[stage+"_p95_us"] = s.P95Us
+		stages[stage+"_count"] = float64(s.Count)
+	}
+	add("obs_lookup_stages", stages)
 
 	// The hand-batched ceiling: the same number of Zipf queries in one
 	// pre-formed BulkLookup call — no windowing, no per-request channels.

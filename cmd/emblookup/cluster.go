@@ -9,8 +9,18 @@ import (
 	"emblookup/internal/cluster"
 	"emblookup/internal/core"
 	"emblookup/internal/kg"
+	"emblookup/internal/obs"
 	"emblookup/internal/server"
 )
+
+// newSlowLog builds the serving commands' slow-query log from the
+// -slowlog-ms flag (0 or negative disables it).
+func newSlowLog(ms int) *obs.SlowLog {
+	if ms <= 0 {
+		return nil
+	}
+	return obs.NewSlowLog(time.Duration(ms)*time.Millisecond, 0)
+}
 
 // cmdClusterPart splits a trained model into P partition artifacts, each a
 // full model file whose index covers only that partition's rows (written via
@@ -53,6 +63,8 @@ func cmdClusterNode(args []string) {
 	dir := fs.String("dir", "cluster", "partition directory from `emblookup cluster-part`")
 	part := fs.Int("part", 0, "partition id to serve")
 	addr := fs.String("addr", ":8081", "listen address")
+	metricsOn := fs.Bool("metrics", true, "record metrics and expose them at GET /metrics (false disables all recording)")
+	slowMs := fs.Int("slowlog-ms", 100, "log queries slower than this many ms at GET /debug/slowlog (0 disables)")
 	fs.Parse(args)
 
 	g, err := kg.LoadFile(*graphPath)
@@ -69,7 +81,15 @@ func cmdClusterNode(args []string) {
 		RowLo: man.Bounds[*part],
 		RowHi: man.Bounds[*part+1],
 	}
-	h := server.New(g, model, server.WithPartition(info)).Handler()
+	obs.Default().SetEnabled(*metricsOn)
+	opts := []server.Option{server.WithPartition(info)}
+	if *metricsOn {
+		opts = append(opts, server.WithMetrics(nil))
+	}
+	if sl := newSlowLog(*slowMs); sl != nil {
+		opts = append(opts, server.WithSlowLog(sl))
+	}
+	h := server.New(g, model, opts...).Handler()
 	log.Printf("serving partition %d/%d (rows [%d, %d)) on %s",
 		info.ID, info.Count, info.RowLo, info.RowHi, *addr)
 	log.Fatal(server.NewHTTPServer(*addr, h).ListenAndServe())
@@ -86,6 +106,8 @@ func cmdClusterRoute(args []string) {
 	addr := fs.String("addr", ":8080", "listen address")
 	timeout := fs.Duration("timeout", 0, "per-request node timeout (0 = default 2s)")
 	hedgeAfter := fs.Duration("hedge-after", 0, "hedge a straggling node request after this delay (0 = default 50ms, negative disables)")
+	metricsOn := fs.Bool("metrics", true, "record metrics and expose them at GET /metrics (false disables all recording)")
+	slowMs := fs.Int("slowlog-ms", 100, "log routed queries slower than this many ms at GET /debug/slowlog (0 disables)")
 	fs.Parse(args)
 
 	urls := strings.Split(*nodes, ",")
@@ -100,6 +122,7 @@ func cmdClusterRoute(args []string) {
 	if err != nil {
 		log.Fatalf("loading model: %v", err)
 	}
+	obs.Default().SetEnabled(*metricsOn)
 	rt, err := cluster.NewRouter(model, urls, cluster.RouterOptions{
 		Timeout:    *timeout,
 		HedgeAfter: *hedgeAfter,
@@ -108,6 +131,10 @@ func cmdClusterRoute(args []string) {
 		log.Fatalf("router: %v", err)
 	}
 	defer rt.Close()
+	if *metricsOn {
+		rt.Metrics = obs.Default()
+	}
+	rt.SlowLog = newSlowLog(*slowMs)
 	log.Printf("routing over %d partitions on %s", len(urls), *addr)
 	log.Fatal(server.NewHTTPServer(*addr, rt.Handler()).ListenAndServe())
 }
@@ -116,12 +143,16 @@ func cmdClusterRoute(args []string) {
 // N partition nodes on loopback listeners plus the router serving the public
 // address. Same code path as a real multi-machine deployment, minus the
 // machines.
-func serveCluster(g *kg.Graph, model *core.EmbLookup, addr string, n int) {
+func serveCluster(g *kg.Graph, model *core.EmbLookup, addr string, n int, metricsOn bool, sl *obs.SlowLog) {
 	l, err := cluster.StartLocal(model, n, cluster.LocalOptions{})
 	if err != nil {
 		log.Fatalf("starting in-process cluster: %v", err)
 	}
 	defer l.Close()
+	if metricsOn {
+		l.Router.Metrics = obs.Default()
+	}
+	l.Router.SlowLog = sl
 	for i, u := range l.URLs {
 		log.Printf("  node %d: rows [%d, %d) at %s",
 			i, l.Manifest.Bounds[i], l.Manifest.Bounds[i+1], u)

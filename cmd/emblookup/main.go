@@ -40,6 +40,7 @@ import (
 
 	"emblookup/internal/core"
 	"emblookup/internal/kg"
+	"emblookup/internal/obs"
 	"emblookup/internal/serve"
 	"emblookup/internal/server"
 )
@@ -214,6 +215,8 @@ func cmdServe(args []string) {
 	cacheSize := fs.Int("cache-size", 0, "mention cache entries (0 = default 4096, negative disables the cache)")
 	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	clusterN := fs.Int("cluster", 0, "run an in-process demo cluster with N partition nodes behind a router")
+	metricsOn := fs.Bool("metrics", true, "record metrics and expose them at GET /metrics (false disables all recording)")
+	slowMs := fs.Int("slowlog-ms", 100, "log queries slower than this many ms at GET /debug/slowlog (0 disables)")
 	fs.Parse(args)
 
 	g, err := kg.LoadFile(*graphPath)
@@ -226,8 +229,10 @@ func cmdServe(args []string) {
 	}
 	prov := model.IndexProvenance()
 	log.Printf("index %s in %v (also under /stats)", prov.Source, prov.Took.Round(time.Microsecond))
+	obs.Default().SetEnabled(*metricsOn)
+	sl := newSlowLog(*slowMs)
 	if *clusterN > 0 {
-		serveCluster(g, model, *addr, *clusterN)
+		serveCluster(g, model, *addr, *clusterN, *metricsOn, sl)
 		return
 	}
 	sv, err := serve.New(model, serve.Options{
@@ -244,6 +249,12 @@ func cmdServe(args []string) {
 	if *pprofOn {
 		opts = append(opts, server.WithPprof())
 		log.Printf("pprof enabled at /debug/pprof/")
+	}
+	if *metricsOn {
+		opts = append(opts, server.WithMetrics(nil))
+	}
+	if sl != nil {
+		opts = append(opts, server.WithSlowLog(sl))
 	}
 	st := sv.Stats()
 	log.Printf("serving lookups on %s (graph: %s, %d entities, %d scan shards)",

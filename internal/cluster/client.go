@@ -7,9 +7,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 	"time"
 
+	"emblookup/internal/obs"
 	"emblookup/internal/server"
 )
 
@@ -31,22 +33,60 @@ type nodeClient struct {
 	consecFails   atomic.Int32
 	down          atomic.Bool
 
-	requests  atomic.Int64
-	failures  atomic.Int64
-	hedges    atomic.Int64
-	hedgeWins atomic.Int64
+	requests    atomic.Int64
+	failures    atomic.Int64
+	hedges      atomic.Int64
+	hedgeWins   atomic.Int64
+	retries     atomic.Int64
+	transitions atomic.Int64 // healthy→unhealthy→healthy flips, both directions
+
+	// Registry handles, set by observe before the router serves; nil
+	// handles (tests constructing a bare client) record nothing.
+	latSec        *obs.Histogram
+	reqTotal      *obs.Counter
+	failTotal     *obs.Counter
+	retryTotal    *obs.Counter
+	hedgeTotal    *obs.Counter
+	hedgeWinTotal *obs.Counter
+	transTotal    *obs.Counter
+	// spanPrefix labels this node's trace spans and grafted remote spans
+	// ("node3/"), precomputed so the request path never formats strings.
+	spanPrefix string
+	spanRPC    string
 }
 
 func newNodeClient(partition int, url string, failThreshold int) *nodeClient {
 	if failThreshold <= 0 {
 		failThreshold = 3
 	}
-	return &nodeClient{
+	c := &nodeClient{
 		partition:     partition,
 		url:           url,
 		hc:            &http.Client{},
 		failThreshold: int32(failThreshold),
 	}
+	c.spanPrefix = "node" + strconv.Itoa(partition) + "/"
+	c.spanRPC = c.spanPrefix + "rpc"
+	return c
+}
+
+// observe resolves this node's per-partition registry handles. Call before
+// the router starts serving.
+func (c *nodeClient) observe(reg *obs.Registry) {
+	p := strconv.Itoa(c.partition)
+	c.latSec = reg.Histogram(obs.Labels("emblookup_cluster_node_seconds", "partition", p))
+	c.reqTotal = reg.Counter(obs.Labels("emblookup_cluster_node_requests_total", "partition", p))
+	c.failTotal = reg.Counter(obs.Labels("emblookup_cluster_node_failures_total", "partition", p))
+	c.retryTotal = reg.Counter(obs.Labels("emblookup_cluster_node_retries_total", "partition", p))
+	c.hedgeTotal = reg.Counter(obs.Labels("emblookup_cluster_node_hedges_total", "partition", p))
+	c.hedgeWinTotal = reg.Counter(obs.Labels("emblookup_cluster_node_hedge_wins_total", "partition", p))
+	c.transTotal = reg.Counter(obs.Labels("emblookup_cluster_node_health_transitions_total", "partition", p))
+	reg.GaugeFunc(obs.Labels("emblookup_cluster_node_healthy", "partition", p), func() float64 {
+		if c.healthy() {
+			return 1
+		}
+		return 0
+	})
 }
 
 // healthy reports whether the scatter should include this node.
@@ -54,13 +94,20 @@ func (c *nodeClient) healthy() bool { return !c.down.Load() }
 
 func (c *nodeClient) markSuccess() {
 	c.consecFails.Store(0)
-	c.down.Store(false)
+	if c.down.CompareAndSwap(true, false) {
+		c.transitions.Add(1)
+		c.transTotal.Inc()
+	}
 }
 
 func (c *nodeClient) markFailure() {
 	c.failures.Add(1)
+	c.failTotal.Inc()
 	if c.consecFails.Add(1) >= c.failThreshold {
-		c.down.Store(true)
+		if c.down.CompareAndSwap(false, true) {
+			c.transitions.Add(1)
+			c.transTotal.Inc()
+		}
 	}
 }
 
@@ -68,15 +115,21 @@ func (c *nodeClient) markFailure() {
 // partition-scoped endpoint under the router's full request discipline —
 // per-attempt timeout, bounded retries with real backoff, and a hedged
 // duplicate raced against a straggling attempt. The request body is
-// marshaled once and reused across attempts and hedges.
-func (c *nodeClient) search(ctx context.Context, k int, embs [][]float32, timeout, hedgeAfter time.Duration, retry RetryPolicy) ([][]server.PartitionHit, error) {
+// marshaled once and reused across attempts and hedges. With a non-nil
+// trace, every attempt (retries and hedges included, losers too) becomes a
+// span, and the winning attempt's node-side spans are grafted under it.
+func (c *nodeClient) search(ctx context.Context, tr *obs.Trace, k int, embs [][]float32, timeout, hedgeAfter time.Duration, retry RetryPolicy) ([][]server.PartitionHit, error) {
 	body, err := json.Marshal(server.PartitionSearchRequest{K: k, Queries: embs})
 	if err != nil {
 		return nil, err
 	}
 	var out [][]server.PartitionHit
-	err = retry.Do(RealSleep, func(int) error {
-		res, err := c.hedged(ctx, body, len(embs), timeout, hedgeAfter)
+	err = retry.Do(RealSleep, func(attempt int) error {
+		if attempt > 0 {
+			c.retries.Add(1)
+			c.retryTotal.Inc()
+		}
+		res, err := c.hedged(ctx, tr, attempt, body, len(embs), timeout, hedgeAfter)
 		if err != nil {
 			return err
 		}
@@ -93,6 +146,8 @@ func (c *nodeClient) search(ctx context.Context, k int, embs [][]float32, timeou
 
 type searchReply struct {
 	hits   [][]server.PartitionHit
+	spans  []obs.SpanRecord // node-side spans echoed in the response
+	start  time.Time        // when this attempt fired (graft base)
 	err    error
 	hedged bool // true when produced by the duplicate request
 }
@@ -101,17 +156,29 @@ type searchReply struct {
 // races a duplicate against the straggler — the first success wins and the
 // loser is cancelled by the shared context when the caller returns.
 // hedgeAfter ≤ 0 disables hedging.
-func (c *nodeClient) hedged(ctx context.Context, body []byte, nq int, timeout, hedgeAfter time.Duration) ([][]server.PartitionHit, error) {
+func (c *nodeClient) hedged(ctx context.Context, tr *obs.Trace, attempt int, body []byte, nq int, timeout, hedgeAfter time.Duration) ([][]server.PartitionHit, error) {
 	if hedgeAfter <= 0 {
-		return c.post(ctx, body, nq, timeout)
+		sp := tr.StartAttempt(c.spanRPC, false, attempt)
+		start := time.Now()
+		hits, spans, err := c.post(ctx, tr.ID(), body, nq, timeout)
+		sp.End()
+		if err == nil {
+			tr.Graft(c.spanPrefix, tr.SinceUs(start), spans)
+		}
+		return hits, err
 	}
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel() // aborts the losing duplicate as soon as a winner returns
 	ch := make(chan searchReply, 2)
 	fire := func(isHedge bool) {
 		go func() {
-			hits, err := c.post(cctx, body, nq, timeout)
-			ch <- searchReply{hits: hits, err: err, hedged: isHedge}
+			// Losing attempts close their spans too: a traced hedge race
+			// shows both contenders side by side.
+			sp := tr.StartAttempt(c.spanRPC, isHedge, attempt)
+			start := time.Now()
+			hits, spans, err := c.post(cctx, tr.ID(), body, nq, timeout)
+			sp.End()
+			ch <- searchReply{hits: hits, spans: spans, start: start, err: err, hedged: isHedge}
 		}()
 	}
 	fire(false)
@@ -125,7 +192,9 @@ func (c *nodeClient) hedged(ctx context.Context, body []byte, nq int, timeout, h
 			if r.err == nil {
 				if r.hedged {
 					c.hedgeWins.Add(1)
+					c.hedgeWinTotal.Inc()
 				}
+				tr.Graft(c.spanPrefix, tr.SinceUs(r.start), r.spans)
 				return r.hits, nil
 			}
 			if firstErr == nil {
@@ -137,39 +206,48 @@ func (c *nodeClient) hedged(ctx context.Context, body []byte, nq int, timeout, h
 			}
 		case <-timer.C:
 			c.hedges.Add(1)
+			c.hedgeTotal.Inc()
 			fire(true)
 			inFlight++
 		}
 	}
 }
 
-// post is one attempt against /partition/search.
-func (c *nodeClient) post(ctx context.Context, body []byte, nq int, timeout time.Duration) ([][]server.PartitionHit, error) {
+// post is one attempt against /partition/search. A non-empty traceID is
+// propagated in the X-Emblookup-Trace header; the node echoes its spans in
+// the response for the caller to graft.
+func (c *nodeClient) post(ctx context.Context, traceID string, body []byte, nq int, timeout time.Duration) ([][]server.PartitionHit, []obs.SpanRecord, error) {
 	cctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 	c.requests.Add(1)
+	c.reqTotal.Inc()
+	t0 := time.Now()
 	req, err := http.NewRequestWithContext(cctx, http.MethodPost, c.url+"/partition/search", bytes.NewReader(body))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if traceID != "" {
+		req.Header.Set(obs.TraceHeader, traceID)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 512))
-		return nil, fmt.Errorf("cluster: node %s: status %d", c.url, resp.StatusCode)
+		return nil, nil, fmt.Errorf("cluster: node %s: status %d", c.url, resp.StatusCode)
 	}
 	var psr server.PartitionSearchResponse
 	if err := json.NewDecoder(resp.Body).Decode(&psr); err != nil {
-		return nil, fmt.Errorf("cluster: node %s: decoding response: %w", c.url, err)
+		return nil, nil, fmt.Errorf("cluster: node %s: decoding response: %w", c.url, err)
 	}
 	if len(psr.Results) != nq {
-		return nil, fmt.Errorf("cluster: node %s: %d result lists for %d queries", c.url, len(psr.Results), nq)
+		return nil, nil, fmt.Errorf("cluster: node %s: %d result lists for %d queries", c.url, len(psr.Results), nq)
 	}
-	return psr.Results, nil
+	c.latSec.Since(t0)
+	return psr.Results, psr.Spans, nil
 }
 
 // probe checks /healthz with a short timeout; success heals the node.
@@ -202,6 +280,8 @@ type NodeStats struct {
 	Failures            int64  `json:"failures"`
 	Hedges              int64  `json:"hedges"`
 	HedgeWins           int64  `json:"hedgeWins"`
+	Retries             int64  `json:"retries"`
+	HealthTransitions   int64  `json:"healthTransitions"`
 	ConsecutiveFailures int32  `json:"consecutiveFailures"`
 }
 
@@ -214,6 +294,8 @@ func (c *nodeClient) stats() NodeStats {
 		Failures:            c.failures.Load(),
 		Hedges:              c.hedges.Load(),
 		HedgeWins:           c.hedgeWins.Load(),
+		Retries:             c.retries.Load(),
+		HealthTransitions:   c.transitions.Load(),
 		ConsecutiveFailures: c.consecFails.Load(),
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"emblookup/internal/core"
 	"emblookup/internal/kg"
 	"emblookup/internal/lookup"
+	"emblookup/internal/obs"
 	"emblookup/internal/server"
 )
 
@@ -43,6 +44,10 @@ type RouterOptions struct {
 	// Parallelism bounds the router's local embedding fan-out
 	// (≤0 = GOMAXPROCS).
 	Parallelism int
+	// Registry receives the router's metrics — routed-lookup latency,
+	// per-partition counters and latency, health gauges (nil =
+	// obs.Default()).
+	Registry *obs.Registry
 }
 
 func (o *RouterOptions) fill() {
@@ -80,8 +85,16 @@ type Router struct {
 	opts  RouterOptions
 	// MaxK bounds the per-request candidate budget of the HTTP front-end.
 	MaxK int
+	// Metrics, when set, is mounted as GET /metrics on the Handler —
+	// normally the same registry the router records into.
+	Metrics *obs.Registry
+	// SlowLog, when set, records routed lookups that cross its threshold
+	// (with the full cross-node span timeline) and is mounted as
+	// GET /debug/slowlog.
+	SlowLog *obs.SlowLog
 
 	partials atomic.Int64
+	latency  *obs.Histogram // end-to-end routed lookup latency
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -103,8 +116,27 @@ func NewRouter(model *core.EmbLookup, nodeURLs []string, opts RouterOptions) (*R
 		MaxK:  1000,
 		stop:  make(chan struct{}),
 	}
+	reg := opts.Registry
+	if reg == nil {
+		reg = obs.Default()
+	}
+	r.latency = reg.Histogram("emblookup_cluster_lookup_seconds")
+	reg.CounterFunc("emblookup_cluster_partial_responses_total", func() float64 {
+		return float64(r.partials.Load())
+	})
+	reg.GaugeFunc("emblookup_cluster_healthy_nodes", func() float64 {
+		n := 0
+		for _, c := range r.nodes {
+			if c.healthy() {
+				n++
+			}
+		}
+		return float64(n)
+	})
 	for i, u := range nodeURLs {
-		r.nodes = append(r.nodes, newNodeClient(i, u, opts.FailThreshold))
+		n := newNodeClient(i, u, opts.FailThreshold)
+		n.observe(reg)
+		r.nodes = append(r.nodes, n)
 	}
 	r.wg.Add(1)
 	go r.probeLoop()
@@ -160,13 +192,26 @@ type BulkResult struct {
 
 // Lookup answers one query through the cluster.
 func (r *Router) Lookup(q string, k int) Result {
-	br := r.BulkLookup([]string{q}, k)
+	return r.LookupTrace(nil, q, k)
+}
+
+// LookupTrace is Lookup with the request's trace threaded through the whole
+// scatter: the router's embed and merge stages, one rpc span per node
+// attempt (hedged duplicates and retries flagged), and each node's own
+// spans grafted under its leg — one timeline for a routed query.
+func (r *Router) LookupTrace(tr *obs.Trace, q string, k int) Result {
+	br := r.BulkLookupTrace(tr, []string{q}, k)
 	return Result{Candidates: br.PerQuery[0], Partial: br.Partial, Failed: br.Failed}
 }
 
 // BulkLookup embeds the batch once locally and scatters it to every
 // healthy node in one partition-scoped request per node.
 func (r *Router) BulkLookup(queries []string, k int) BulkResult {
+	return r.BulkLookupTrace(nil, queries, k)
+}
+
+// BulkLookupTrace is BulkLookup with tracing (see LookupTrace).
+func (r *Router) BulkLookupTrace(tr *obs.Trace, queries []string, k int) BulkResult {
 	out := BulkResult{PerQuery: make([][]lookup.Candidate, len(queries))}
 	if len(queries) == 0 {
 		return out
@@ -174,13 +219,16 @@ func (r *Router) BulkLookup(queries []string, k int) BulkResult {
 	if k <= 0 {
 		return out
 	}
+	t0 := time.Now()
 	// Same over-fetch discipline as core.EmbLookup.Lookup: alias rows can
 	// collapse onto one entity, so dedupe needs headroom.
 	fetch := k
 	if r.model.Config().IndexAliases {
 		fetch = k * 3
 	}
+	sp := tr.Start("embed")
 	embs := r.model.EmbedAll(queries, r.opts.Parallelism)
+	sp.End()
 
 	perNode := make([][][]server.PartitionHit, len(r.nodes))
 	errs := make([]error, len(r.nodes))
@@ -194,7 +242,7 @@ func (r *Router) BulkLookup(queries []string, k int) BulkResult {
 		wg.Add(1)
 		go func(i int, n *nodeClient) {
 			defer wg.Done()
-			perNode[i], errs[i] = n.search(context.Background(), fetch, embs,
+			perNode[i], errs[i] = n.search(context.Background(), tr, fetch, embs,
 				r.opts.Timeout, r.opts.HedgeAfter, r.opts.Retry)
 		}(i, n)
 	}
@@ -210,6 +258,7 @@ func (r *Router) BulkLookup(queries []string, k int) BulkResult {
 		r.partials.Add(1)
 	}
 
+	sp = tr.Start("merge")
 	var all []server.PartitionHit
 	for qi := range queries {
 		all = all[:0]
@@ -220,6 +269,8 @@ func (r *Router) BulkLookup(queries []string, k int) BulkResult {
 		}
 		out.PerQuery[qi] = mergeHits(all, fetch, k)
 	}
+	sp.End()
+	r.latency.Since(t0)
 	return out
 }
 
@@ -261,12 +312,26 @@ func mergeHits(all []server.PartitionHit, fetch, k int) []lookup.Candidate {
 	return cands
 }
 
-// RouterStats is the coordinator's observability snapshot.
+// RouterStats is the coordinator's observability snapshot: per-node health
+// and traffic, the cluster-wide totals aggregated across nodes, and the
+// routed-lookup latency quantiles.
 type RouterStats struct {
-	Partitions       int         `json:"partitions"`
-	Healthy          int         `json:"healthy"`
-	PartialResponses int64       `json:"partialResponses"`
-	Nodes            []NodeStats `json:"nodes"`
+	Partitions       int                 `json:"partitions"`
+	Healthy          int                 `json:"healthy"`
+	PartialResponses int64               `json:"partialResponses"`
+	Totals           RouterTotals        `json:"totals"`
+	Latency          *obs.LatencySummary `json:"latency,omitempty"`
+	Nodes            []NodeStats         `json:"nodes"`
+}
+
+// RouterTotals sums the per-node traffic counters across the cluster.
+type RouterTotals struct {
+	Requests          int64 `json:"requests"`
+	Failures          int64 `json:"failures"`
+	Retries           int64 `json:"retries"`
+	Hedges            int64 `json:"hedges"`
+	HedgeWins         int64 `json:"hedgeWins"`
+	HealthTransitions int64 `json:"healthTransitions"`
 }
 
 // Stats snapshots per-node health and traffic counters.
@@ -277,7 +342,16 @@ func (r *Router) Stats() RouterStats {
 		if ns.Healthy {
 			st.Healthy++
 		}
+		st.Totals.Requests += ns.Requests
+		st.Totals.Failures += ns.Failures
+		st.Totals.Retries += ns.Retries
+		st.Totals.Hedges += ns.Hedges
+		st.Totals.HedgeWins += ns.HedgeWins
+		st.Totals.HealthTransitions += ns.HealthTransitions
 		st.Nodes = append(st.Nodes, ns)
+	}
+	if sum := r.latency.Summary(); sum.Count > 0 {
+		st.Latency = &sum
 	}
 	return st
 }
@@ -286,11 +360,13 @@ func (r *Router) Stats() RouterStats {
 // LookupResponse shape plus the degradation flags, so a client can tell an
 // exact answer from a surviving-partitions one.
 type RouteResponse struct {
-	Query   string       `json:"query"`
-	TookUs  int64        `json:"tookUs"`
-	Partial bool         `json:"partial,omitempty"`
-	Failed  []int        `json:"failedPartitions,omitempty"`
-	Results []server.Hit `json:"results"`
+	Query   string           `json:"query"`
+	TookUs  int64            `json:"tookUs"`
+	Partial bool             `json:"partial,omitempty"`
+	Failed  []int            `json:"failedPartitions,omitempty"`
+	Results []server.Hit     `json:"results"`
+	TraceID string           `json:"traceId,omitempty"`
+	Trace   []obs.SpanRecord `json:"trace,omitempty"`
 }
 
 // Handler returns the router's HTTP front-end: the same /lookup, /bulk,
@@ -303,6 +379,12 @@ func (r *Router) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	if r.Metrics != nil {
+		mux.Handle("GET /metrics", r.Metrics.Handler())
+	}
+	if r.SlowLog != nil {
+		mux.Handle("GET /debug/slowlog", r.SlowLog.Handler())
+	}
 	return mux
 }
 
@@ -338,16 +420,38 @@ func (r *Router) handleLookup(w http.ResponseWriter, req *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	// Open a trace when the caller asked (?trace=1), when an upstream hop
+	// propagated an id, or when a slow entry might need the timeline.
+	wantTrace := req.URL.Query().Get("trace") == "1"
+	var tr *obs.Trace
+	if id := req.Header.Get(obs.TraceHeader); id != "" {
+		tr = obs.NewTraceWith(id)
+		wantTrace = true
+	} else if wantTrace || r.SlowLog != nil {
+		tr = obs.NewTrace()
+	}
 	start := time.Now()
-	res := r.Lookup(q, k)
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(RouteResponse{
+	res := r.LookupTrace(tr, q, k)
+	took := time.Since(start)
+	if r.SlowLog.Slow(took) {
+		r.SlowLog.Record(obs.SlowEntry{
+			Route: "/lookup", Query: q, K: k, DurUs: took.Microseconds(),
+			TraceID: tr.ID(), Partial: res.Partial, Spans: tr.Spans(),
+		})
+	}
+	resp := RouteResponse{
 		Query:   q,
-		TookUs:  time.Since(start).Microseconds(),
+		TookUs:  took.Microseconds(),
 		Partial: res.Partial,
 		Failed:  res.Failed,
 		Results: r.hits(res.Candidates),
-	})
+	}
+	if wantTrace {
+		resp.TraceID = tr.ID()
+		resp.Trace = tr.Spans()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
 }
 
 // handleBulk mirrors the single-node /bulk: one query per body line, one
@@ -371,7 +475,14 @@ func (r *Router) handleBulk(w http.ResponseWriter, req *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	start := time.Now()
 	res := r.BulkLookup(queries, k)
+	if took := time.Since(start); r.SlowLog.Slow(took) {
+		r.SlowLog.Record(obs.SlowEntry{
+			Route: "/bulk", Query: fmt.Sprintf("[%d queries]", len(queries)),
+			K: k, DurUs: took.Microseconds(), Partial: res.Partial,
+		})
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	enc := json.NewEncoder(w)
 	for i, q := range queries {

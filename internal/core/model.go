@@ -103,6 +103,8 @@ func (e *EmbLookup) Lookup(q string, k int) []lookup.Candidate {
 // shard-major), the embed and search stages are split so the whole batch
 // flows through one SearchBatch call; results are identical either way.
 func (e *EmbLookup) BulkLookup(queries []string, k, parallelism int) [][]lookup.Candidate {
+	bulkTotal.Inc()
+	bulkQueries.ObserveVal(int64(len(queries)))
 	if bs, ok := e.ix.(index.BatchSearcher); ok && len(queries) > 0 && k > 0 {
 		return e.bulkViaBatch(bs, queries, k, parallelism)
 	}

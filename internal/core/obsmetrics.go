@@ -1,0 +1,32 @@
+package core
+
+import (
+	"emblookup/internal/lookup"
+	"emblookup/internal/obs"
+)
+
+// The core lookup path records into the process-wide registry through
+// handles resolved once at package init, so the hot path never touches the
+// registry lock: recording is an atomic add behind an enabled check and
+// keeps the pooled-scratch allocation guarantees (DESIGN.md §6) intact —
+// Lookup stays at its PR-1 allocation count with metrics enabled, which
+// TestLookupAllocsWithMetrics asserts.
+var (
+	lookupsTotal  = obs.Default().Counter("emblookup_lookups_total")
+	lookupSeconds = obs.Default().Histogram("emblookup_lookup_seconds")
+	stageEmbed    = obs.Default().Histogram(obs.Labels("emblookup_lookup_stage_seconds", "stage", "embed"))
+	stageSearch   = obs.Default().Histogram(obs.Labels("emblookup_lookup_stage_seconds", "stage", "search"))
+	stageMerge    = obs.Default().Histogram(obs.Labels("emblookup_lookup_stage_seconds", "stage", "merge"))
+	bulkTotal     = obs.Default().Counter("emblookup_bulk_lookups_total")
+	bulkQueries   = obs.Default().Histogram("emblookup_bulk_batch_size")
+)
+
+// LookupTrace is Lookup with per-stage spans recorded into tr: the embed →
+// search → merge pipeline of one query becomes three named intervals of the
+// request's trace. A nil trace makes this identical to Lookup — every span
+// call is a nil-check — so callers thread the trace unconditionally.
+func (e *EmbLookup) LookupTrace(tr *obs.Trace, q string, k int) []lookup.Candidate {
+	sc := getScratch()
+	defer putScratch(sc)
+	return e.lookupTraced(sc, tr, q, k)
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"time"
 
 	"emblookup/internal/index"
 	"emblookup/internal/kg"
@@ -9,6 +10,7 @@ import (
 	"emblookup/internal/mathx"
 	"emblookup/internal/ngram"
 	"emblookup/internal/nn"
+	"emblookup/internal/obs"
 )
 
 // Scratch is the per-worker working memory of one lookup: the character
@@ -67,6 +69,14 @@ func (e *EmbLookup) embedInto(sc *Scratch, s string, useMention bool) []float32 
 // lookupInto is Lookup with all working memory taken from sc. Only the
 // returned candidate slice is allocated.
 func (e *EmbLookup) lookupInto(sc *Scratch, q string, k int) []lookup.Candidate {
+	return e.lookupTraced(sc, nil, q, k)
+}
+
+// lookupTraced is the instrumented single-query path: each pipeline stage
+// records into its process-wide histogram and, when tr is non-nil, opens a
+// span. Stage timing costs two clock reads per stage; a nil trace adds
+// nothing else, keeping the path allocation-free.
+func (e *EmbLookup) lookupTraced(sc *Scratch, tr *obs.Trace, q string, k int) []lookup.Candidate {
 	if k <= 0 {
 		return nil
 	}
@@ -75,14 +85,32 @@ func (e *EmbLookup) lookupInto(sc *Scratch, q string, k int) []lookup.Candidate 
 	if e.cfg.IndexAliases {
 		fetch = k * 3
 	}
+	t0 := time.Now()
+	sp := tr.Start("embed")
 	emb := e.embedInto(sc, q, true)
+	sp.End()
+	stageEmbed.Since(t0)
+
+	t1 := time.Now()
+	sp = tr.Start("search")
 	var res []index.Result
 	if ss, ok := e.ix.(index.ScratchSearcher); ok {
 		res = ss.SearchWith(&sc.ix, emb, fetch)
 	} else {
 		res = e.ix.Search(emb, fetch)
 	}
-	return e.dedupeInto(sc, res, k)
+	sp.End()
+	stageSearch.Since(t1)
+
+	t2 := time.Now()
+	sp = tr.Start("merge")
+	out := e.dedupeInto(sc, res, k)
+	sp.End()
+	stageMerge.Since(t2)
+
+	lookupsTotal.Inc()
+	lookupSeconds.Since(t0)
+	return out
 }
 
 // dedupeInto converts ranked index results to candidates, collapsing alias

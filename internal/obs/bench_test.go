@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkMetricsOverhead measures the per-record cost of each primitive —
+// the numbers the overhead budget in DESIGN.md §10 quotes. Run by
+// scripts/verify.sh; every sub-benchmark must report 0 allocs/op.
+func BenchmarkMetricsOverhead(b *testing.B) {
+	b.Run("counter", func(b *testing.B) {
+		c := New().Counter("bench_total")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+	b.Run("counter-parallel", func(b *testing.B) {
+		c := New().Counter("bench_total")
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				c.Inc()
+			}
+		})
+	})
+	b.Run("histogram", func(b *testing.B) {
+		h := New().Histogram("bench_seconds")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.ObserveVal(int64(i))
+		}
+	})
+	b.Run("histogram-since", func(b *testing.B) {
+		h := New().Histogram("bench_seconds")
+		t0 := time.Now()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.Since(t0)
+		}
+	})
+	b.Run("histogram-parallel", func(b *testing.B) {
+		h := New().Histogram("bench_seconds")
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			var v int64
+			for pb.Next() {
+				v++
+				h.ObserveVal(v)
+			}
+		})
+	})
+	b.Run("disabled", func(b *testing.B) {
+		r := New()
+		c := r.Counter("bench_total")
+		h := r.Histogram("bench_seconds")
+		r.SetEnabled(false)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+			h.ObserveVal(int64(i))
+		}
+	})
+	b.Run("nil-recorders", func(b *testing.B) {
+		var c *Counter
+		var h *Histogram
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+			h.ObserveVal(int64(i))
+		}
+	})
+	b.Run("nil-trace-span", func(b *testing.B) {
+		var tr *Trace
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sp := tr.Start("stage")
+			sp.End()
+		}
+	})
+}

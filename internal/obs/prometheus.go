@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4): one `# TYPE` line per family, counters
+// and gauges as single samples, histograms as cumulative `_bucket{le=...}`
+// series plus `_sum` and `_count`. Histograms whose family ends in
+// `_seconds` hold nanosecond observations and are scaled to seconds on the
+// way out; other histograms (sizes, counts) are exposed raw. Empty buckets
+// are skipped — the cumulative series stays valid and the output stays
+// readable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	names, entries := r.snapshot()
+	// Samples of one family must stay contiguous under their TYPE line, so
+	// order by family before full name (`f` sorts after `f_x` but before
+	// `f{...}` byte-wise, which would otherwise split a family).
+	sort.SliceStable(names, func(a, b int) bool {
+		fa, fb := entries[names[a]].family, entries[names[b]].family
+		if fa != fb {
+			return fa < fb
+		}
+		return names[a] < names[b]
+	})
+	bw := bufio.NewWriter(w)
+	typed := make(map[string]bool, len(names))
+	for _, name := range names {
+		e := entries[name]
+		if !typed[e.family] {
+			typed[e.family] = true
+			fmt.Fprintf(bw, "# TYPE %s %s\n", e.family, promType(e.kind))
+		}
+		switch e.kind {
+		case kindCounter:
+			fmt.Fprintf(bw, "%s %d\n", name, e.c.Value())
+		case kindCounterFunc, kindGaugeFunc:
+			fmt.Fprintf(bw, "%s %s\n", name, formatFloat(e.f()))
+		case kindGauge:
+			fmt.Fprintf(bw, "%s %s\n", name, formatFloat(e.g.Value()))
+		case kindHistogram:
+			writeHistogram(bw, name, e)
+		}
+	}
+	return bw.Flush()
+}
+
+func promType(k metricKind) string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+// formatFloat renders a sample value the way Prometheus expects: integral
+// values without an exponent, everything else in compact scientific form.
+func formatFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// seriesName splices extra labels into a full metric name:
+// seriesName(`x{a="b"}`, "_bucket", `le="0.1"`) → `x_bucket{a="b",le="0.1"}`.
+func seriesName(name, suffix, extraLabel string) string {
+	fam := name
+	labels := ""
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		fam = name[:i]
+		labels = name[i+1 : len(name)-1]
+	}
+	switch {
+	case labels == "" && extraLabel == "":
+		return fam + suffix
+	case labels == "":
+		return fam + suffix + "{" + extraLabel + "}"
+	case extraLabel == "":
+		return fam + suffix + "{" + labels + "}"
+	default:
+		return fam + suffix + "{" + labels + "," + extraLabel + "}"
+	}
+}
+
+func writeHistogram(bw *bufio.Writer, name string, e *entry) {
+	s := e.h.Snapshot()
+	// Nanosecond-valued duration histograms expose second-valued buckets.
+	scale := 1.0
+	if strings.HasSuffix(e.family, "_seconds") {
+		scale = 1e-9
+	}
+	var cum int64
+	for i := range s.Counts {
+		if s.Counts[i] == 0 {
+			continue
+		}
+		cum += s.Counts[i]
+		_, upper := bucketBounds(i)
+		le := fmt.Sprintf(`le="%g"`, float64(upper)*scale)
+		fmt.Fprintf(bw, "%s %d\n", seriesName(name, "_bucket", le), cum)
+	}
+	fmt.Fprintf(bw, "%s %d\n", seriesName(name, "_bucket", `le="+Inf"`), s.Total)
+	fmt.Fprintf(bw, "%s %s\n", seriesName(name, "_sum", ""), formatFloat(float64(s.Sum)*scale))
+	fmt.Fprintf(bw, "%s %d\n", seriesName(name, "_count", ""), s.Total)
+}
+
+// Handler serves the registry in Prometheus text format — mounted as
+// GET /metrics by the single-node server and the cluster router.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// SlowEntry is one logged slow query.
+type SlowEntry struct {
+	Time    time.Time    `json:"time"`
+	Route   string       `json:"route"`
+	Query   string       `json:"query"`
+	K       int          `json:"k,omitempty"`
+	DurUs   int64        `json:"durUs"`
+	TraceID string       `json:"traceId,omitempty"`
+	Partial bool         `json:"partial,omitempty"`
+	Spans   []SpanRecord `json:"spans,omitempty"`
+}
+
+// SlowLog is a fixed-size ring buffer of the most recent queries that
+// crossed a latency threshold — the `-slowlog-ms` flag of every serving
+// command. Recording is threshold-gated before any lock is taken, so the
+// fast path of a healthy deployment pays one comparison. Entries are
+// copied in; the ring never retains request-scoped memory beyond its
+// capacity. A nil SlowLog never records. Dumped by GET /debug/slowlog.
+type SlowLog struct {
+	threshold time.Duration
+	mu        sync.Mutex
+	ring      []SlowEntry
+	next      int
+	total     int64
+}
+
+// NewSlowLog builds a slow-query log keeping the last `capacity` entries
+// at or above threshold (capacity ≤ 0 defaults to 128).
+func NewSlowLog(threshold time.Duration, capacity int) *SlowLog {
+	if capacity <= 0 {
+		capacity = 128
+	}
+	return &SlowLog{threshold: threshold, ring: make([]SlowEntry, 0, capacity)}
+}
+
+// Threshold returns the gating latency (0 for a nil log).
+func (l *SlowLog) Threshold() time.Duration {
+	if l == nil {
+		return 0
+	}
+	return l.threshold
+}
+
+// Slow reports whether a duration crosses the threshold — the cheap guard
+// callers use before assembling an entry (span snapshots cost something).
+func (l *SlowLog) Slow(d time.Duration) bool {
+	return l != nil && d >= l.threshold
+}
+
+// Record logs the entry if its duration crosses the threshold. Time is
+// stamped here when the caller left it zero.
+func (l *SlowLog) Record(e SlowEntry) {
+	if l == nil || time.Duration(e.DurUs)*time.Microsecond < l.threshold {
+		return
+	}
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.total++
+	if len(l.ring) < cap(l.ring) {
+		l.ring = append(l.ring, e)
+		l.next = len(l.ring) % cap(l.ring)
+		return
+	}
+	l.ring[l.next] = e
+	l.next = (l.next + 1) % cap(l.ring)
+}
+
+// Total returns how many slow queries were recorded since start (including
+// ones the ring has since overwritten).
+func (l *SlowLog) Total() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Snapshot returns the retained entries, newest first.
+func (l *SlowLog) Snapshot() []SlowEntry {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SlowEntry, 0, len(l.ring))
+	for i := 1; i <= len(l.ring); i++ {
+		out = append(out, l.ring[(l.next-i+len(l.ring))%len(l.ring)])
+	}
+	return out
+}
+
+// slowLogDump is the /debug/slowlog JSON shape.
+type slowLogDump struct {
+	ThresholdMs float64     `json:"thresholdMs"`
+	Recorded    int64       `json:"recorded"`
+	Retained    int         `json:"retained"`
+	Entries     []SlowEntry `json:"entries"`
+}
+
+// Handler serves the slow-query dump — mounted as GET /debug/slowlog.
+func (l *SlowLog) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		entries := l.Snapshot()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(slowLogDump{
+			ThresholdMs: float64(l.Threshold()) / float64(time.Millisecond),
+			Recorded:    l.Total(),
+			Retained:    len(entries),
+			Entries:     entries,
+		})
+	})
+}

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestSlowLogThresholdGating(t *testing.T) {
+	l := NewSlowLog(10*time.Millisecond, 4)
+	l.Record(SlowEntry{Route: "fast", DurUs: 500})
+	l.Record(SlowEntry{Route: "slow", DurUs: 50_000})
+	if l.Total() != 1 {
+		t.Fatalf("recorded = %d, want 1", l.Total())
+	}
+	got := l.Snapshot()
+	if len(got) != 1 || got[0].Route != "slow" {
+		t.Fatalf("snapshot = %+v", got)
+	}
+	if got[0].Time.IsZero() {
+		t.Fatal("Record did not stamp Time")
+	}
+	if !l.Slow(11*time.Millisecond) || l.Slow(9*time.Millisecond) {
+		t.Fatal("Slow guard disagrees with threshold")
+	}
+}
+
+func TestSlowLogRingWraparoundNewestFirst(t *testing.T) {
+	l := NewSlowLog(0, 3)
+	for i := 1; i <= 5; i++ {
+		l.Record(SlowEntry{K: i, DurUs: int64(i)})
+	}
+	if l.Total() != 5 {
+		t.Fatalf("total = %d, want 5", l.Total())
+	}
+	got := l.Snapshot()
+	if len(got) != 3 {
+		t.Fatalf("retained %d, want 3", len(got))
+	}
+	for i, want := range []int{5, 4, 3} {
+		if got[i].K != want {
+			t.Fatalf("snapshot[%d].K = %d, want %d (newest first)", i, got[i].K, want)
+		}
+	}
+}
+
+func TestNilSlowLog(t *testing.T) {
+	var l *SlowLog
+	l.Record(SlowEntry{DurUs: 1 << 40})
+	if l.Total() != 0 || l.Snapshot() != nil || l.Slow(time.Hour) || l.Threshold() != 0 {
+		t.Fatal("nil slow log must be inert")
+	}
+}
+
+func TestSlowLogHandler(t *testing.T) {
+	l := NewSlowLog(time.Millisecond, 8)
+	l.Record(SlowEntry{Route: "/lookup", Query: "marie curie", DurUs: 2_000, TraceID: "abc",
+		Spans: []SpanRecord{{Name: "embed", DurUs: 900}}})
+	rec := httptest.NewRecorder()
+	l.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/slowlog", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var dump struct {
+		ThresholdMs float64     `json:"thresholdMs"`
+		Recorded    int64       `json:"recorded"`
+		Retained    int         `json:"retained"`
+		Entries     []SlowEntry `json:"entries"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &dump); err != nil {
+		t.Fatal(err)
+	}
+	if dump.ThresholdMs != 1 || dump.Recorded != 1 || dump.Retained != 1 {
+		t.Fatalf("dump = %+v", dump)
+	}
+	e := dump.Entries[0]
+	if e.Query != "marie curie" || e.TraceID != "abc" || len(e.Spans) != 1 {
+		t.Fatalf("entry = %+v", e)
+	}
+}

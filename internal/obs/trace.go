@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"time"
+)
+
+// TraceHeader carries a trace id across cluster hops: the router stamps it
+// on POST /partition/search, the node opens a trace under the same id and
+// returns its spans in the response, and the router grafts them under the
+// node's leg — one coherent timeline for a scattered query (DESIGN.md §10).
+const TraceHeader = "X-Emblookup-Trace"
+
+// SpanRecord is one completed span of a trace: a named interval positioned
+// relative to the trace start. Hedged marks the duplicate request of a
+// hedge race; Retry is the 0-based retry attempt that produced the span.
+type SpanRecord struct {
+	Name    string `json:"name"`
+	StartUs int64  `json:"startUs"`
+	DurUs   int64  `json:"durUs"`
+	Hedged  bool   `json:"hedged,omitempty"`
+	Retry   int    `json:"retry,omitempty"`
+}
+
+// Trace collects the spans of one request. It is cheap enough to create
+// per HTTP request but deliberately kept off the allocation-free lookup
+// hot path: every instrumentation point takes a *Trace and a nil trace
+// records nothing at zero cost, so untraced lookups keep their PR-1
+// allocation counts. Safe for concurrent use — hedged duplicates and
+// scatter legs append from their own goroutines.
+type Trace struct {
+	id    string
+	start time.Time
+	mu    sync.Mutex
+	spans []SpanRecord
+}
+
+// NewTraceID returns a fresh 16-hex-digit trace id.
+func NewTraceID() string {
+	return fmt.Sprintf("%016x", rand.Uint64())
+}
+
+// NewTrace opens a trace with a fresh id, starting now.
+func NewTrace() *Trace { return NewTraceWith(NewTraceID()) }
+
+// NewTraceWith opens a trace under an existing id — the receiving side of
+// cross-hop propagation (a node adopting the router's TraceHeader).
+func NewTraceWith(id string) *Trace {
+	return &Trace{id: id, start: time.Now()}
+}
+
+// ID returns the trace id ("" for a nil trace).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// SpanTimer is an open span. It is a value, not a pointer: starting a span
+// on a nil trace costs nothing and allocates nothing.
+type SpanTimer struct {
+	tr     *Trace
+	name   string
+	t0     time.Time
+	hedged bool
+	retry  int
+}
+
+// Start opens a span. On a nil trace it returns an inert timer.
+func (t *Trace) Start(name string) SpanTimer {
+	if t == nil {
+		return SpanTimer{}
+	}
+	return SpanTimer{tr: t, name: name, t0: time.Now()}
+}
+
+// StartAttempt opens a span annotated as one request attempt: hedged marks
+// the duplicate of a hedge race, retry the 0-based retry number.
+func (t *Trace) StartAttempt(name string, hedged bool, retry int) SpanTimer {
+	if t == nil {
+		return SpanTimer{}
+	}
+	return SpanTimer{tr: t, name: name, t0: time.Now(), hedged: hedged, retry: retry}
+}
+
+// End closes the span and appends its record to the trace.
+func (s SpanTimer) End() {
+	if s.tr == nil {
+		return
+	}
+	end := time.Now()
+	s.tr.add(SpanRecord{
+		Name:    s.name,
+		StartUs: s.t0.Sub(s.tr.start).Microseconds(),
+		DurUs:   end.Sub(s.t0).Microseconds(),
+		Hedged:  s.hedged,
+		Retry:   s.retry,
+	})
+}
+
+func (t *Trace) add(rec SpanRecord) {
+	t.mu.Lock()
+	t.spans = append(t.spans, rec)
+	t.mu.Unlock()
+}
+
+// Graft appends spans produced by another process (a partition node),
+// prefixing their names and shifting them by baseUs — the local start of
+// the hop that produced them — so the remote timeline nests under the
+// local one. A nil trace ignores the graft.
+func (t *Trace) Graft(prefix string, baseUs int64, spans []SpanRecord) {
+	if t == nil || len(spans) == 0 {
+		return
+	}
+	t.mu.Lock()
+	for _, sp := range spans {
+		sp.Name = prefix + sp.Name
+		sp.StartUs += baseUs
+		t.spans = append(t.spans, sp)
+	}
+	t.mu.Unlock()
+}
+
+// SinceUs returns how far into the trace the given instant is — the base
+// offset handed to Graft.
+func (t *Trace) SinceUs(at time.Time) int64 {
+	if t == nil {
+		return 0
+	}
+	return at.Sub(t.start).Microseconds()
+}
+
+// Spans returns a copy of the recorded spans ordered by start time.
+func (t *Trace) Spans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]SpanRecord, len(t.spans))
+	copy(out, t.spans)
+	t.mu.Unlock()
+	sort.SliceStable(out, func(a, b int) bool { return out[a].StartUs < out[b].StartUs })
+	return out
+}
+
+// ctxKey keys the trace in a context.Context.
+type ctxKey struct{}
+
+// WithTrace attaches a trace to the context.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// FromContext returns the context's trace, or nil — callers pass the result
+// straight to Start, which is nil-safe.
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(ctxKey{}).(*Trace)
+	return t
+}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestNilTraceIsFreeAndAllocFree(t *testing.T) {
+	var tr *Trace
+	if tr.ID() != "" || tr.Spans() != nil || tr.SinceUs(time.Now()) != 0 {
+		t.Fatal("nil trace must read as empty")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		sp := tr.Start("lookup")
+		sp.End()
+		at := tr.StartAttempt("rpc", true, 1)
+		at.End()
+		tr.Graft("node0/", 10, nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-trace span cycle allocates %v times", allocs)
+	}
+}
+
+func TestTraceSpansRecorded(t *testing.T) {
+	tr := NewTrace()
+	if len(tr.ID()) != 16 {
+		t.Fatalf("trace id %q, want 16 hex digits", tr.ID())
+	}
+	s1 := tr.Start("embed")
+	time.Sleep(2 * time.Millisecond)
+	s1.End()
+	s2 := tr.StartAttempt("rpc", true, 2)
+	s2.End()
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Name != "embed" || spans[0].DurUs < 1000 {
+		t.Fatalf("embed span = %+v", spans[0])
+	}
+	if !spans[1].Hedged || spans[1].Retry != 2 {
+		t.Fatalf("attempt span missing annotations: %+v", spans[1])
+	}
+	if spans[1].StartUs < spans[0].StartUs {
+		t.Fatal("spans not ordered by start")
+	}
+}
+
+func TestTraceWithAdoptsID(t *testing.T) {
+	tr := NewTraceWith("deadbeefcafe0123")
+	if tr.ID() != "deadbeefcafe0123" {
+		t.Fatalf("id = %q", tr.ID())
+	}
+}
+
+func TestGraftRebasesRemoteSpans(t *testing.T) {
+	tr := NewTrace()
+	remote := []SpanRecord{
+		{Name: "search", StartUs: 5, DurUs: 40},
+		{Name: "merge", StartUs: 50, DurUs: 10, Hedged: true},
+	}
+	tr.Graft("node1/", 1000, remote)
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	if spans[0].Name != "node1/search" || spans[0].StartUs != 1005 || spans[0].DurUs != 40 {
+		t.Fatalf("grafted span = %+v", spans[0])
+	}
+	if spans[1].Name != "node1/merge" || spans[1].StartUs != 1050 || !spans[1].Hedged {
+		t.Fatalf("grafted span = %+v", spans[1])
+	}
+	// The originals must not be mutated.
+	if remote[0].Name != "search" || remote[0].StartUs != 5 {
+		t.Fatalf("graft mutated caller slice: %+v", remote[0])
+	}
+}
+
+func TestTraceContextCarry(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Fatal("empty context should carry no trace")
+	}
+	tr := NewTrace()
+	ctx := WithTrace(context.Background(), tr)
+	if FromContext(ctx) != tr {
+		t.Fatal("trace lost through context")
+	}
+}
+
+func TestTraceConcurrentAppend(t *testing.T) {
+	tr := NewTrace()
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				sp := tr.Start("leg")
+				sp.End()
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if got := len(tr.Spans()); got != 1600 {
+		t.Fatalf("got %d spans, want 1600", got)
+	}
+}

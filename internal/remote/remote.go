@@ -22,6 +22,7 @@ import (
 
 	"emblookup/internal/cluster"
 	"emblookup/internal/lookup"
+	"emblookup/internal/obs"
 )
 
 // Config describes one simulated endpoint.
@@ -62,6 +63,11 @@ type Service struct {
 	cfg     Config
 	gate    *cluster.Gate
 	dropped atomic.Int64
+
+	// Process-wide counters labeled by service name; simulated services
+	// surface on /metrics like any live dependency would.
+	reqTotal  *obs.Counter
+	failTotal *obs.Counter
 }
 
 // New wraps backend as a simulated remote endpoint.
@@ -70,10 +76,12 @@ func New(name string, backend lookup.Service, cfg Config) *Service {
 		cfg.MaxParallel = 1
 	}
 	return &Service{
-		name:    name,
-		backend: backend,
-		cfg:     cfg,
-		gate:    cluster.NewGate(cfg.MaxParallel, cfg.Latency),
+		name:      name,
+		backend:   backend,
+		cfg:       cfg,
+		gate:      cluster.NewGate(cfg.MaxParallel, cfg.Latency),
+		reqTotal:  obs.Default().Counter(obs.Labels("emblookup_remote_requests_total", "service", name)),
+		failTotal: obs.Default().Counter(obs.Labels("emblookup_remote_failures_total", "service", name)),
 	}
 }
 
@@ -91,7 +99,9 @@ func (s *Service) Lookup(q string, k int) []lookup.Candidate {
 	// sees from a dead endpoint.
 	_ = s.cfg.Retry.Do(s.gate, func(int) error {
 		s.gate.Admit()
+		s.reqTotal.Inc()
 		if s.dropped.Add(1) <= int64(s.cfg.TransientFailures) {
+			s.failTotal.Inc()
 			return errTransient
 		}
 		res = s.backend.Lookup(q, k)

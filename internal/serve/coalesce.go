@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"emblookup/internal/lookup"
+	"emblookup/internal/obs"
 )
 
 // BulkFunc answers a query batch at one k — core.EmbLookup.BulkLookup with
@@ -12,10 +13,12 @@ import (
 // of that query would return.
 type BulkFunc func(queries []string, k int) [][]lookup.Candidate
 
-// coalReq is one caller blocked on the micro-batcher.
+// coalReq is one caller blocked on the micro-batcher. t0 is its arrival
+// time, from which the coalescing-wait histogram is fed at dispatch.
 type coalReq struct {
 	q  string
 	k  int
+	t0 time.Time
 	ch chan []lookup.Candidate
 }
 
@@ -40,6 +43,10 @@ type Coalescer struct {
 	// Counters, guarded by mu.
 	batches    uint64
 	dispatched uint64
+
+	// Registry histograms, set by Observe; nil handles record nothing.
+	batchSize *obs.Histogram // queries per dispatched batch
+	wait      *obs.Histogram // per-query time from arrival to dispatch
 }
 
 // NewCoalescer builds a micro-batcher over bulk. maxBatch ≤ 0 defaults to
@@ -63,7 +70,7 @@ func (c *Coalescer) Lookup(q string, k int) []lookup.Candidate {
 		return c.bulk([]string{q}, k)[0]
 	}
 	ch := make(chan []lookup.Candidate, 1)
-	c.pending = append(c.pending, coalReq{q: q, k: k, ch: ch})
+	c.pending = append(c.pending, coalReq{q: q, k: k, t0: time.Now(), ch: ch})
 	if len(c.pending) >= c.maxBatch {
 		batch := c.takeLocked()
 		c.mu.Unlock()
@@ -112,6 +119,10 @@ func (c *Coalescer) dispatch(batch []coalReq) {
 	if len(batch) == 0 {
 		return
 	}
+	c.batchSize.ObserveVal(int64(len(batch)))
+	for _, r := range batch {
+		c.wait.Since(r.t0)
+	}
 	// Group by k preserving arrival order within each group. Almost every
 	// batch has a single k, so scan for that case first.
 	uniform := true
@@ -144,6 +155,19 @@ func (c *Coalescer) answer(group []coalReq, k int) {
 	for i, r := range group {
 		r.ch <- results[i]
 	}
+}
+
+// Observe wires the coalescer into a metrics registry: flush-size and wait
+// histograms recorded at dispatch, plus pull-time collectors over the exact
+// instance-local batch counters. Call it before the coalescer starts
+// serving — the histogram handles are read without the lock on dispatch.
+func (c *Coalescer) Observe(r *obs.Registry) {
+	c.mu.Lock()
+	c.batchSize = r.Histogram("emblookup_coalescer_batch_size")
+	c.wait = r.Histogram("emblookup_coalescer_wait_seconds")
+	c.mu.Unlock()
+	r.CounterFunc("emblookup_coalescer_batches_total", func() float64 { return float64(c.Stats().Batches) })
+	r.CounterFunc("emblookup_coalescer_queries_total", func() float64 { return float64(c.Stats().Queries) })
 }
 
 // CoalescerStats is a point-in-time snapshot of the batching counters.

@@ -23,6 +23,7 @@ import (
 
 	"emblookup/internal/core"
 	"emblookup/internal/lookup"
+	"emblookup/internal/obs"
 )
 
 // Options configures the serving substrate. The zero value enables every
@@ -43,6 +44,11 @@ type Options struct {
 	// Parallelism bounds worker fan-out for scans and batches
 	// (≤0 = GOMAXPROCS).
 	Parallelism int
+	// Registry receives the substrate's metrics — serve latency, the
+	// normalize stage histogram, cache and coalescer collectors (nil =
+	// obs.Default()). Benchmarks hand each instance a fresh registry so
+	// phases don't contaminate each other.
+	Registry *obs.Registry
 }
 
 // Serve answers lookups through the cache, the coalescer, and the sharded
@@ -52,6 +58,9 @@ type Serve struct {
 	cache *MentionCache
 	co    *Coalescer
 	opts  Options
+
+	latency        *obs.Histogram // end-to-end serve.Lookup latency
+	stageNormalize *obs.Histogram // the serve-side stage of the lookup pipeline
 }
 
 // New builds the serving substrate over a trained model. With
@@ -72,15 +81,23 @@ func New(model *core.EmbLookup, opts Options) (*Serve, error) {
 		}
 		model = sharded
 	}
+	reg := opts.Registry
+	if reg == nil {
+		reg = obs.Default()
+	}
 	s := &Serve{model: model, opts: opts}
+	s.latency = reg.Histogram("emblookup_serve_lookup_seconds")
+	s.stageNormalize = reg.Histogram(obs.Labels("emblookup_lookup_stage_seconds", "stage", "normalize"))
 	if opts.CacheSize > 0 {
 		s.cache = NewMentionCache(opts.CacheSize)
+		s.cache.Observe(reg)
 	}
 	if opts.MaxBatch >= 0 {
 		bulk := func(queries []string, k int) [][]lookup.Candidate {
 			return model.BulkLookup(queries, k, opts.Parallelism)
 		}
 		s.co = NewCoalescer(bulk, opts.MaxBatch, opts.Window)
+		s.co.Observe(reg)
 	}
 	return s, nil
 }
@@ -93,24 +110,46 @@ func (s *Serve) Model() *core.EmbLookup { return s.model }
 // Results are bit-identical to model.Lookup(q, k); cached slices are shared
 // across callers and must be treated as read-only.
 func (s *Serve) Lookup(q string, k int) []lookup.Candidate {
+	return s.LookupTrace(nil, q, k)
+}
+
+// LookupTrace is Lookup with the request's trace threaded through: the
+// normalize and cache stages span here, and a traced miss takes the direct
+// model path (core stage spans land on this trace) instead of the
+// coalescer, whose batches interleave many requests and would attribute
+// other callers' work to this timeline. Results stay bit-identical either
+// way. A nil trace makes this exactly Lookup.
+func (s *Serve) LookupTrace(tr *obs.Trace, q string, k int) []lookup.Candidate {
 	if k <= 0 {
 		return nil
 	}
+	t0 := time.Now()
+	sp := tr.Start("normalize")
 	norm := core.NormalizeMention(q)
+	sp.End()
+	s.stageNormalize.Since(t0)
 	if s.cache != nil {
-		if res, ok := s.cache.Get(norm, k); ok {
+		sp = tr.Start("cache")
+		res, ok := s.cache.Get(norm, k)
+		sp.End()
+		if ok {
+			s.latency.Since(t0)
 			return res
 		}
 	}
 	var res []lookup.Candidate
-	if s.co != nil {
+	switch {
+	case tr != nil:
+		res = s.model.LookupTrace(tr, norm, k)
+	case s.co != nil:
 		res = s.co.Lookup(norm, k)
-	} else {
+	default:
 		res = s.model.Lookup(norm, k)
 	}
 	if s.cache != nil {
 		s.cache.Put(norm, k, res)
 	}
+	s.latency.Since(t0)
 	return res
 }
 
@@ -161,12 +200,14 @@ func (s *Serve) BulkLookup(queries []string, k int) [][]lookup.Candidate {
 // Stats is the serving substrate's observability snapshot, exposed by the
 // HTTP server's /stats endpoint.
 type Stats struct {
-	Shards    int             `json:"shards"`
-	Cache     *CacheStats     `json:"cache,omitempty"`
-	Coalescer *CoalescerStats `json:"coalescer,omitempty"`
+	Shards    int                 `json:"shards"`
+	Cache     *CacheStats         `json:"cache,omitempty"`
+	Coalescer *CoalescerStats     `json:"coalescer,omitempty"`
+	Latency   *obs.LatencySummary `json:"latency,omitempty"`
 }
 
-// Stats snapshots cache and coalescer counters.
+// Stats snapshots cache and coalescer counters plus the serve-latency
+// quantiles.
 func (s *Serve) Stats() Stats {
 	st := Stats{Shards: s.opts.Shards}
 	if s.cache != nil {
@@ -176,6 +217,9 @@ func (s *Serve) Stats() Stats {
 	if s.co != nil {
 		co := s.co.Stats()
 		st.Coalescer = &co
+	}
+	if sum := s.latency.Summary(); sum.Count > 0 {
+		st.Latency = &sum
 	}
 	return st
 }

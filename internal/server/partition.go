@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"emblookup/internal/index"
+	"emblookup/internal/obs"
 )
 
 // PartitionInfo describes the slice of a global entity index this node
@@ -50,10 +52,14 @@ type PartitionHit struct {
 }
 
 // PartitionSearchResponse is the /partition/search reply; Results aligns
-// with the request's query order.
+// with the request's query order. When the router propagated a trace id
+// (X-Emblookup-Trace), the node echoes it with its own spans, which the
+// router grafts under this hop's leg — one timeline across the cluster.
 type PartitionSearchResponse struct {
 	Partition PartitionInfo    `json:"partition"`
 	Results   [][]PartitionHit `json:"results"`
+	TraceID   string           `json:"traceId,omitempty"`
+	Spans     []obs.SpanRecord `json:"spans,omitempty"`
 }
 
 // handlePartitionSearch answers a router's scatter: validate strictly (400
@@ -93,8 +99,17 @@ func (s *Server) handlePartitionSearch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// Adopt the router's trace id so this node's spans join its timeline.
+	var tr *obs.Trace
+	if id := r.Header.Get(obs.TraceHeader); id != "" {
+		tr = obs.NewTraceWith(id)
+	}
+	start := time.Now()
 	rows := s.model.IndexRows()
+	sp := tr.Start("search")
 	res := index.BatchSearch(s.model.Index(), req.Queries, req.K, 0)
+	sp.End()
+	sp = tr.Start("translate")
 	resp := PartitionSearchResponse{Partition: *s.partition}
 	resp.Results = make([][]PartitionHit, len(res))
 	lo := int32(s.partition.RowLo)
@@ -105,6 +120,17 @@ func (s *Server) handlePartitionSearch(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Results[i] = hits
 	}
+	sp.End()
+	took := time.Since(start)
+	s.httpPartition.Observe(took)
+	if s.slowLog.Slow(took) {
+		s.slowLog.Record(obs.SlowEntry{
+			Route: "/partition/search", Query: fmt.Sprintf("[%d queries]", len(req.Queries)),
+			K: req.K, DurUs: took.Microseconds(), TraceID: tr.ID(), Spans: tr.Spans(),
+		})
+	}
+	resp.TraceID = tr.ID()
+	resp.Spans = tr.Spans()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)
 }

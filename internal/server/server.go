@@ -33,6 +33,7 @@ import (
 	"emblookup/internal/core"
 	"emblookup/internal/kg"
 	"emblookup/internal/lookup"
+	"emblookup/internal/obs"
 	"emblookup/internal/serve"
 )
 
@@ -44,6 +45,14 @@ type Server struct {
 	serve     *serve.Serve
 	pprof     bool
 	partition *PartitionInfo
+
+	reg          *obs.Registry
+	mountMetrics bool
+	slowLog      *obs.SlowLog
+	// Per-route latency histograms, resolved once at construction.
+	httpLookup    *obs.Histogram
+	httpBulk      *obs.Histogram
+	httpPartition *obs.Histogram
 	// MaxK bounds the per-request candidate budget.
 	MaxK int
 	// MaxBulkQueries bounds how many queries one /bulk or
@@ -73,6 +82,25 @@ func WithPprof() Option {
 	return func(s *Server) { s.pprof = true }
 }
 
+// WithMetrics directs the server's metrics into reg (nil keeps the
+// process-wide obs.Default()) and mounts GET /metrics serving it in
+// Prometheus text format.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(s *Server) {
+		if reg != nil {
+			s.reg = reg
+		}
+		s.mountMetrics = true
+	}
+}
+
+// WithSlowLog records requests crossing the log's threshold — with their
+// trace spans, so a slow entry shows which stage dragged — and mounts
+// GET /debug/slowlog.
+func WithSlowLog(sl *obs.SlowLog) Option {
+	return func(s *Server) { s.slowLog = sl }
+}
+
 // New builds a server over a trained model.
 func New(g *kg.Graph, model *core.EmbLookup, opts ...Option) *Server {
 	s := &Server{
@@ -83,9 +111,13 @@ func New(g *kg.Graph, model *core.EmbLookup, opts ...Option) *Server {
 		MaxBulkBytes:      1 << 20,
 		MaxPartitionBytes: 64 << 20,
 	}
+	s.reg = obs.Default()
 	for _, o := range opts {
 		o(s)
 	}
+	s.httpLookup = s.reg.Histogram(obs.Labels("emblookup_http_request_seconds", "route", "/lookup"))
+	s.httpBulk = s.reg.Histogram(obs.Labels("emblookup_http_request_seconds", "route", "/bulk"))
+	s.httpPartition = s.reg.Histogram(obs.Labels("emblookup_http_request_seconds", "route", "/partition/search"))
 	return s
 }
 
@@ -117,6 +149,12 @@ func (s *Server) Handler() http.Handler {
 	if s.partition != nil {
 		mux.HandleFunc("POST /partition/search", s.handlePartitionSearch)
 	}
+	if s.mountMetrics {
+		mux.Handle("GET /metrics", s.reg.Handler())
+	}
+	if s.slowLog != nil {
+		mux.Handle("GET /debug/slowlog", s.slowLog.Handler())
+	}
 	if s.pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -127,12 +165,13 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// lookupOne answers one query through the serving substrate when present.
-func (s *Server) lookupOne(q string, k int) []lookup.Candidate {
+// lookupOne answers one query through the serving substrate when present,
+// threading the request's trace (nil for untraced requests).
+func (s *Server) lookupOne(tr *obs.Trace, q string, k int) []lookup.Candidate {
 	if s.serve != nil {
-		return s.serve.Lookup(q, k)
+		return s.serve.LookupTrace(tr, q, k)
 	}
-	return s.model.Lookup(q, k)
+	return s.model.LookupTrace(tr, q, k)
 }
 
 // lookupBulk answers a query batch through the serving substrate when
@@ -173,11 +212,15 @@ type Hit struct {
 	Types []string `json:"types,omitempty"`
 }
 
-// LookupResponse is the /lookup reply.
+// LookupResponse is the /lookup reply. TraceID and Trace appear when the
+// request asked for tracing (?trace=1 or an X-Emblookup-Trace header): the
+// per-stage spans of this lookup, cluster hops included.
 type LookupResponse struct {
-	Query   string `json:"query"`
-	TookUs  int64  `json:"tookUs"`
-	Results []Hit  `json:"results"`
+	Query   string           `json:"query"`
+	TookUs  int64            `json:"tookUs"`
+	Results []Hit            `json:"results"`
+	TraceID string           `json:"traceId,omitempty"`
+	Trace   []obs.SpanRecord `json:"trace,omitempty"`
 }
 
 func (s *Server) parseK(r *http.Request) (int, error) {
@@ -192,8 +235,8 @@ func (s *Server) parseK(r *http.Request) (int, error) {
 	return k, nil
 }
 
-func (s *Server) hits(q string, k int) []Hit {
-	res := s.lookupOne(q, k)
+func (s *Server) hits(tr *obs.Trace, q string, k int) []Hit {
+	res := s.lookupOne(tr, q, k)
 	hits := make([]Hit, len(res))
 	for i, c := range res {
 		e := s.graph.Entity(c.ID)
@@ -217,14 +260,38 @@ func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	// A trace is opened when the caller asked for one (?trace=1), when an
+	// upstream hop propagated an id, or when a slow log might need the span
+	// breakdown of a laggard.
+	wantTrace := r.URL.Query().Get("trace") == "1"
+	var tr *obs.Trace
+	if id := r.Header.Get(obs.TraceHeader); id != "" {
+		tr = obs.NewTraceWith(id)
+		wantTrace = true
+	} else if wantTrace || s.slowLog != nil {
+		tr = obs.NewTrace()
+	}
 	start := time.Now()
-	hits := s.hits(q, k)
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(LookupResponse{
+	hits := s.hits(tr, q, k)
+	took := time.Since(start)
+	s.httpLookup.Observe(took)
+	if s.slowLog.Slow(took) {
+		s.slowLog.Record(obs.SlowEntry{
+			Route: "/lookup", Query: q, K: k, DurUs: took.Microseconds(),
+			TraceID: tr.ID(), Spans: tr.Spans(),
+		})
+	}
+	resp := LookupResponse{
 		Query:   q,
-		TookUs:  time.Since(start).Microseconds(),
+		TookUs:  took.Microseconds(),
 		Results: hits,
-	})
+	}
+	if wantTrace {
+		resp.TraceID = tr.ID()
+		resp.Trace = tr.Spans()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
 }
 
 // handleBulk reads one query per line from the body and streams one JSON
@@ -251,6 +318,14 @@ func (s *Server) handleBulk(w http.ResponseWriter, r *http.Request) {
 	}
 	start := time.Now()
 	results := s.lookupBulk(queries, k)
+	took := time.Since(start)
+	s.httpBulk.Observe(took)
+	if s.slowLog.Slow(took) {
+		s.slowLog.Record(obs.SlowEntry{
+			Route: "/bulk", Query: fmt.Sprintf("[%d queries]", len(queries)),
+			K: k, DurUs: took.Microseconds(),
+		})
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	enc := json.NewEncoder(w)
 	for i, q := range queries {
@@ -260,7 +335,6 @@ func (s *Server) handleBulk(w http.ResponseWriter, r *http.Request) {
 		}
 		enc.Encode(LookupResponse{Query: q, Results: hits})
 	}
-	_ = start
 }
 
 // StatsResponse is the /stats reply. Serving is present only when the

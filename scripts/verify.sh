@@ -21,6 +21,10 @@ echo "== allocation benchmarks (short) =="
 go test -run '^$' -bench 'BenchmarkPQSearch$|BenchmarkLookupAllocs' \
     -benchmem -benchtime 10x .
 
+echo "== metrics overhead benchmarks (short) =="
+go test -run '^$' -bench 'BenchmarkMetricsOverhead' \
+    -benchmem -benchtime 100x ./internal/obs
+
 echo "== serving benchmarks (short) =="
 go test -run '^$' -bench 'BenchmarkServe' \
     -benchmem -benchtime 10x ./internal/serve
