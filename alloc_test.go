@@ -52,4 +52,19 @@ func TestLookupAllocsWithMetrics(t *testing.T) {
 	}); n > maxLookupAllocs {
 		t.Errorf("LookupTrace(nil) with metrics enabled: %.1f allocs/op, budget %d", n, maxLookupAllocs)
 	}
+
+	// The fast-scan path shares the budget: its extra state (uint8 LUT,
+	// fused pair tables) lives in the same pooled scratch.
+	fs, err := m.WithFastScan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		fs.Lookup("Bramonia Ridge", 10)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		fs.Lookup("Bramonia Ridge", 10)
+	}); n > maxLookupAllocs {
+		t.Errorf("fast-scan Lookup with metrics enabled: %.1f allocs/op, budget %d", n, maxLookupAllocs)
+	}
 }

@@ -199,6 +199,43 @@ func BenchmarkPQSearch(b *testing.B) {
 	}
 }
 
+// BenchmarkFastScan pits the two compressed-scan kernels against each other
+// on identical data at identical bytes per code (M=8 × 8-bit vs 2M=16 ×
+// 4-bit): the plain float32-LUT ADC scan vs the block-interleaved fast-scan
+// with a uint8-quantized table and exact re-rank (DESIGN.md §11). Run under
+// `make verify` and diffed by `make bench-compare`; the fast-scan row is the
+// ≥2× single-core throughput gate of BENCH_lookup.json in kernel-only form.
+func BenchmarkFastScan(b *testing.B) {
+	data := mathx.NewMatrix(20000, 64)
+	data.FillRandn(mathx.NewRNG(9), 1)
+	cfg := quant.PQConfig{M: 8, Ks: 64, Iters: 5, Seed: 10}
+	pq, err := index.NewPQ(data, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fs, err := index.NewFastScan(data, quant.Config4(cfg))
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := data.Row(0)
+	b.Run("pq", func(b *testing.B) {
+		var s index.Scratch
+		var dst []index.Result
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dst = pq.SearchAppendWith(&s, q, 10, dst)
+		}
+	})
+	b.Run("fastscan", func(b *testing.B) {
+		var s index.Scratch
+		var dst []index.Result
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dst = fs.SearchAppendWith(&s, q, 10, dst)
+		}
+	})
+}
+
 // BenchmarkLookupAllocs records the allocation profile of the end-to-end
 // query path (the numbers cmd/benchkg -bench-lookup snapshots into
 // BENCH_lookup.json). Sub-benchmarks cover the single-query wrappers and

@@ -291,6 +291,7 @@ func cmdTrain(args []string) {
 	epochs := fs.Int("epochs", 6, "training epochs (half offline, half online-mined)")
 	triplets := fs.Int("triplets", 20, "triplets mined per entity")
 	compress := fs.Bool("compress", true, "product-quantize the index")
+	fastScan := fs.Bool("fastscan", false, "build the compressed index as the 4-bit fast-scan variant (requires -compress)")
 	saveIndex := fs.Bool("save-index", true, "embed the built index in the model file (IO-bound cold starts)")
 	paper := fs.Bool("paper", false, "use the full paper configuration (100 epochs, 100 triplets/entity)")
 	fs.Parse(args)
@@ -309,6 +310,7 @@ func cmdTrain(args []string) {
 		cfg.TripletsPerEntity = *triplets
 	}
 	cfg.Compress = *compress
+	cfg.FastScan = *fastScan
 
 	start := time.Now()
 	model, err := core.Train(g, cfg, core.WithLogf(log.Printf))

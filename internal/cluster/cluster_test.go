@@ -574,3 +574,38 @@ func TestMergeHitsDedupe(t *testing.T) {
 		t.Fatalf("tie-break wrong: %+v", got)
 	}
 }
+
+// TestClusterFastScan runs the scatter-gather path over a fast-scan model:
+// each partition re-interleaves its row slice, and the merged cluster answer
+// must stay bit-identical to the single-process fast-scan lookup.
+func TestClusterFastScan(t *testing.T) {
+	g, m := testModel(t)
+	fs, err := m.WithFastScan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fs.Index().(*index.FastScan); !ok {
+		t.Fatalf("index type %T, want *index.FastScan", fs.Index())
+	}
+	queries := testQueries(g)
+	for _, p := range []int{1, 3} {
+		l, err := StartLocal(fs, p, LocalOptions{Router: fastRouterOptions()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range queries {
+			want := fs.Lookup(q, 10)
+			got := l.Router.Lookup(q, 10)
+			if got.Partial || len(got.Failed) != 0 {
+				t.Fatalf("P=%d q=%q: unexpected degradation: %+v", p, q, got)
+			}
+			sameCandidates(t, fmt.Sprintf("fastscan P=%d q=%q", p, q), want, got.Candidates)
+		}
+		want := fs.BulkLookup(queries, 5, 0)
+		bulk := l.Router.BulkLookup(queries, 5)
+		for i := range queries {
+			sameCandidates(t, fmt.Sprintf("fastscan bulk q=%q", queries[i]), want[i], bulk.PerQuery[i])
+		}
+		l.Close()
+	}
+}

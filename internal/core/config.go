@@ -86,6 +86,13 @@ type Config struct {
 	IVFNProbe int
 	// PQ configures the product quantizer when Compress is set.
 	PQ quant.PQConfig
+	// FastScan builds the compressed index as the 4-bit fast-scan variant
+	// (DESIGN.md §11): the PQ configuration is rewritten by quant.Config4
+	// to twice the sub-quantizers at 16 centroids each (same bytes per
+	// code), codes are stored block-interleaved, and queries scan a
+	// uint8-quantized distance table with an exact float32 re-rank of the
+	// survivors. Requires Compress; incompatible with IVF.
+	FastScan bool
 
 	// IndexAliases additionally embeds every alias as its own index row
 	// (Section III-C notes this trades storage for accuracy).
@@ -149,6 +156,22 @@ func (c Config) Validate() error {
 	}
 	if c.Compress && c.Dim%c.PQ.M != 0 {
 		return fmt.Errorf("core: Dim=%d not divisible by PQ.M=%d", c.Dim, c.PQ.M)
+	}
+	if c.FastScan {
+		if !c.Compress {
+			return fmt.Errorf("core: FastScan requires Compress (it is a compressed-index layout)")
+		}
+		if c.IVF {
+			return fmt.Errorf("core: FastScan is incompatible with IVF")
+		}
+		// The 4-bit variant doubles the sub-quantizer count (quant.Config4),
+		// so the dimensionality must split across 2·M sub-spaces.
+		if c.Dim%(2*c.PQ.M) != 0 {
+			return fmt.Errorf("core: Dim=%d not divisible by the fast-scan sub-quantizer count 2·PQ.M=%d", c.Dim, 2*c.PQ.M)
+		}
+		if 2*c.PQ.M > quant.MaxM4 {
+			return fmt.Errorf("core: fast-scan sub-quantizer count %d exceeds %d", 2*c.PQ.M, quant.MaxM4)
+		}
 	}
 	if c.Kernel%2 == 0 {
 		return fmt.Errorf("core: kernel size must be odd for same-padding, got %d", c.Kernel)

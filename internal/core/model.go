@@ -109,6 +109,14 @@ func (e *EmbLookup) BulkLookup(queries []string, k, parallelism int) [][]lookup.
 		return e.bulkViaBatch(bs, queries, k, parallelism)
 	}
 	out := make([][]lookup.Candidate, len(queries))
+	if k <= 0 {
+		return out
+	}
+	// One flat array backs every query's candidates: slot i appends into
+	// flat[i*k:i*k:(i+1)*k] (capacity-clipped, so slots can never bleed into
+	// each other), collapsing the per-query result allocations of the batch
+	// into this single one.
+	flat := make([]lookup.Candidate, len(queries)*k)
 	scratches := make([]*Scratch, par.Workers(len(queries), parallelism))
 	par.ForEachWorker(len(queries), parallelism, func(w, i int) {
 		sc := scratches[w]
@@ -116,7 +124,7 @@ func (e *EmbLookup) BulkLookup(queries []string, k, parallelism int) [][]lookup.
 			sc = getScratch()
 			scratches[w] = sc
 		}
-		out[i] = e.lookupInto(sc, queries[i], k)
+		out[i] = e.lookupTraced(sc, nil, queries[i], k, flat[i*k:i*k:(i+1)*k])
 	})
 	for _, sc := range scratches {
 		if sc != nil {
@@ -136,6 +144,9 @@ func (e *EmbLookup) bulkViaBatch(bs index.BatchSearcher, queries []string, k, pa
 	embs := e.EmbedAll(queries, parallelism)
 	res := bs.SearchBatch(embs, fetch, parallelism)
 	out := make([][]lookup.Candidate, len(queries))
+	// Same flat-backing trick as the per-query bulk path: one allocation
+	// holds every query's candidate slice.
+	flat := make([]lookup.Candidate, len(queries)*k)
 	scratches := make([]*Scratch, par.Workers(len(queries), parallelism))
 	par.ForEachWorker(len(queries), parallelism, func(w, i int) {
 		sc := scratches[w]
@@ -143,7 +154,7 @@ func (e *EmbLookup) bulkViaBatch(bs index.BatchSearcher, queries []string, k, pa
 			sc = getScratch()
 			scratches[w] = sc
 		}
-		out[i] = e.dedupeInto(sc, res[i], k)
+		out[i] = e.dedupeAppend(sc, res[i], k, flat[i*k:i*k:(i+1)*k])
 	})
 	for _, sc := range scratches {
 		if sc != nil {
@@ -182,6 +193,11 @@ func (e *EmbLookup) IndexEmbedAll(strs []string, parallelism int) [][]float32 {
 
 func (e *EmbLookup) embedAll(strs []string, parallelism int, useMention bool) [][]float32 {
 	out := make([][]float32, len(strs))
+	// One flat array backs every embedding (dimension is fixed by the
+	// model), so copying the batch out of the scratches costs one
+	// allocation instead of one per string.
+	dim := e.cfg.Dim
+	flat := make([]float32, len(strs)*dim)
 	scratches := make([]*Scratch, par.Workers(len(strs), parallelism))
 	par.ForEachWorker(len(strs), parallelism, func(w, i int) {
 		sc := scratches[w]
@@ -190,7 +206,9 @@ func (e *EmbLookup) embedAll(strs []string, parallelism int, useMention bool) []
 			scratches[w] = sc
 		}
 		// The embedding outlives the scratch: copy it out.
-		out[i] = append([]float32(nil), e.embedInto(sc, strs[i], useMention)...)
+		dst := flat[i*dim : (i+1)*dim]
+		copy(dst, e.embedInto(sc, strs[i], useMention))
+		out[i] = dst
 	})
 	for _, sc := range scratches {
 		if sc != nil {

@@ -16,8 +16,8 @@ import (
 // WriteWithIndex like any other model, so each cluster node's artifact
 // carries exactly its slice.
 //
-// Supported for Flat and PQ indexes, the same restriction as sharded scans:
-// both decompose by contiguous row range with per-row distances that do not
+// Supported for Flat, PQ, and FastScan indexes, the same restriction as
+// sharded scans: all decompose by contiguous row range with per-row distances that do not
 // depend on the range's position, which is what makes a partitioned search
 // bit-identical to the single-process scan (DESIGN.md §9). A Sharded
 // wrapper is unwrapped first (shard count is a per-node serving choice).
@@ -45,8 +45,17 @@ func (e *EmbLookup) WithPartition(lo, hi int) (*EmbLookup, error) {
 			return nil, err
 		}
 		part = p
+	case *index.FastScan:
+		// Interleaved blocks cannot alias parent storage at arbitrary
+		// bounds, so the slice re-interleaves the rows into fresh blocks
+		// (one pass over the partition's codes; the quantizer is shared).
+		p, err := t.Slice(lo, hi)
+		if err != nil {
+			return nil, err
+		}
+		part = p
 	default:
-		return nil, fmt.Errorf("core: index type %T cannot be partitioned (want *index.Flat or *index.PQ)", ix)
+		return nil, fmt.Errorf("core: index type %T cannot be partitioned (want *index.Flat, *index.PQ, or *index.FastScan)", ix)
 	}
 	clone := *e
 	clone.ix = part

@@ -28,6 +28,7 @@ type Scratch struct {
 	mention []float32
 	joint   []float32
 	ix      index.Scratch
+	res     []index.Result // reused search-result buffer (AppendSearcher path)
 	seen    map[kg.EntityID]bool
 }
 
@@ -69,14 +70,16 @@ func (e *EmbLookup) embedInto(sc *Scratch, s string, useMention bool) []float32 
 // lookupInto is Lookup with all working memory taken from sc. Only the
 // returned candidate slice is allocated.
 func (e *EmbLookup) lookupInto(sc *Scratch, q string, k int) []lookup.Candidate {
-	return e.lookupTraced(sc, nil, q, k)
+	return e.lookupTraced(sc, nil, q, k, nil)
 }
 
 // lookupTraced is the instrumented single-query path: each pipeline stage
 // records into its process-wide histogram and, when tr is non-nil, opens a
 // span. Stage timing costs two clock reads per stage; a nil trace adds
-// nothing else, keeping the path allocation-free.
-func (e *EmbLookup) lookupTraced(sc *Scratch, tr *obs.Trace, q string, k int) []lookup.Candidate {
+// nothing else, keeping the path allocation-free. The returned candidates
+// land in dst[:0] when non-nil (the bulk path's flat batch array); a nil
+// dst allocates a fresh slice the caller owns.
+func (e *EmbLookup) lookupTraced(sc *Scratch, tr *obs.Trace, q string, k int, dst []lookup.Candidate) []lookup.Candidate {
 	if k <= 0 {
 		return nil
 	}
@@ -94,9 +97,15 @@ func (e *EmbLookup) lookupTraced(sc *Scratch, tr *obs.Trace, q string, k int) []
 	t1 := time.Now()
 	sp = tr.Start("search")
 	var res []index.Result
-	if ss, ok := e.ix.(index.ScratchSearcher); ok {
-		res = ss.SearchWith(&sc.ix, emb, fetch)
-	} else {
+	switch ix := e.ix.(type) {
+	case index.AppendSearcher:
+		// The raw results are consumed by the merge below, so they live in
+		// the scratch-owned buffer — no per-query allocation.
+		sc.res = ix.SearchAppendWith(&sc.ix, emb, fetch, sc.res)
+		res = sc.res
+	case index.ScratchSearcher:
+		res = ix.SearchWith(&sc.ix, emb, fetch)
+	default:
 		res = e.ix.Search(emb, fetch)
 	}
 	sp.End()
@@ -104,7 +113,7 @@ func (e *EmbLookup) lookupTraced(sc *Scratch, tr *obs.Trace, q string, k int) []
 
 	t2 := time.Now()
 	sp = tr.Start("merge")
-	out := e.dedupeInto(sc, res, k)
+	out := e.dedupeAppend(sc, res, k, dst)
 	sp.End()
 	stageMerge.Since(t2)
 
@@ -118,12 +127,23 @@ func (e *EmbLookup) lookupTraced(sc *Scratch, tr *obs.Trace, q string, k int) []
 // as lookup.DedupeTopK over the converted candidate list, without the
 // intermediate slice and map allocations.
 func (e *EmbLookup) dedupeInto(sc *Scratch, res []index.Result, k int) []lookup.Candidate {
+	return e.dedupeAppend(sc, res, k, nil)
+}
+
+// dedupeAppend is dedupeInto with the output slice taken from dst[:0] (nil
+// allocates a fresh one). At most k candidates are appended, so a dst with
+// capacity k never reallocates — the invariant the bulk path's flat batch
+// array depends on.
+func (e *EmbLookup) dedupeAppend(sc *Scratch, res []index.Result, k int, dst []lookup.Candidate) []lookup.Candidate {
 	if sc.seen == nil {
 		sc.seen = make(map[kg.EntityID]bool, len(res))
 	} else {
 		clear(sc.seen)
 	}
-	out := make([]lookup.Candidate, 0, min(k, len(res)))
+	out := dst[:0]
+	if dst == nil {
+		out = make([]lookup.Candidate, 0, min(k, len(res)))
+	}
 	for _, r := range res {
 		id := e.rowEntity(r.ID)
 		if sc.seen[id] {

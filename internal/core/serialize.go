@@ -19,9 +19,12 @@ import (
 
 // modelFormatVersion is the current on-disk format. Version 0 files are the
 // original weights-only layout (pre-versioning, the field decodes to zero);
-// version 2 adds the optional index artifact. Read accepts every version up
-// to the current one and rejects files written by a newer build.
-const modelFormatVersion = 2
+// version 2 adds the optional index artifact; version 3 adds the
+// "fastscan" artifact kind. Read accepts every version up to the current
+// one and rejects files written by a newer build. Write stamps version 3
+// only on models that actually use fast-scan — everything else keeps
+// version 2, so older builds still load it.
+const modelFormatVersion = 3
 
 // modelWire is the serialized form of a trained EmbLookup model. The
 // nearest-neighbor index either rides along as a versioned artifact
@@ -54,11 +57,11 @@ type wireQuantizer struct {
 // the trained index without re-embedding the graph or re-running k-means.
 // Exactly the fields for Kind are populated.
 type wireIndex struct {
-	Kind      string        // "flat" | "pq" | "ivf-flat" | "ivf-pq"
+	Kind      string        // "flat" | "pq" | "fastscan" | "ivf-flat" | "ivf-pq"
 	Rows      []kg.EntityID // index row -> entity
 	Flat      wireMatrix    // flat
-	Quant     wireQuantizer // pq, ivf-pq
-	Codes     []byte        // pq
+	Quant     wireQuantizer // pq, fastscan, ivf-pq
+	Codes     []byte        // pq (row-major codes), fastscan (interleaved blocks)
 	Coarse    wireMatrix    // ivf-flat, ivf-pq
 	NProbe    int           // ivf-flat, ivf-pq
 	Lists     [][]int32     // ivf-flat, ivf-pq
@@ -108,6 +111,13 @@ func (e *EmbLookup) indexToWire() (*wireIndex, error) {
 		w.Kind = "pq"
 		w.Quant = quantizerToWire(t.Quantizer())
 		w.Codes = t.Codes()
+	case *index.FastScan:
+		// The blocks are stored interleaved exactly as scanned; the row
+		// count comes from the Rows mapping (blocks are padded to a
+		// multiple of the block size, so their length alone is ambiguous).
+		w.Kind = "fastscan"
+		w.Quant = quantizerToWire(t.Quantizer())
+		w.Codes = t.Blocks()
 	case *index.IVF:
 		w.Coarse = toWire(t.Coarse())
 		w.NProbe = t.NProbe()
@@ -136,6 +146,8 @@ func indexFromWire(w *wireIndex, g *kg.Graph) (index.Index, []kg.EntityID, error
 		ix = index.NewFlat(fromWire(w.Flat))
 	case "pq":
 		ix, err = index.NewPQFromParts(quantizerFromWire(w.Quant), w.Codes)
+	case "fastscan":
+		ix, err = index.NewFastScanFromParts(quantizerFromWire(w.Quant), w.Codes, len(w.Rows))
 	case "ivf-flat":
 		ix, err = index.NewIVFFromParts(fromWire(w.Coarse), w.NProbe, w.Lists, fromWire(w.Vectors), nil, nil)
 	case "ivf-pq":
@@ -173,8 +185,14 @@ func (e *EmbLookup) WriteWithIndex(w io.Writer) error {
 }
 
 func (e *EmbLookup) write(w io.Writer, withIndex bool) error {
+	// Only fast-scan models need the version-3 format; everything else is
+	// stamped version 2 so builds predating fast-scan still load it.
+	ver := modelFormatVersion
+	if !e.cfg.FastScan {
+		ver = 2
+	}
 	wire := modelWire{
-		Version:       modelFormatVersion,
+		Version:       ver,
 		Cfg:           e.cfg,
 		Alphabet:      e.enc.Alphabet.Runes(),
 		Ngram:         toWire(e.sem.Table),

@@ -474,6 +474,12 @@ func (e *EmbLookup) buildIndex() error {
 			return fmt.Errorf("core: building IVF index: %w", err)
 		}
 		e.ix = ivf
+	case e.cfg.Compress && e.cfg.FastScan:
+		fsIx, err := index.NewFastScan(m, quant.Config4(pqCfg))
+		if err != nil {
+			return fmt.Errorf("core: building fast-scan index: %w", err)
+		}
+		e.ix = fsIx
 	case e.cfg.Compress:
 		pqIx, err := index.NewPQ(m, pqCfg)
 		if err != nil {
@@ -526,6 +532,23 @@ func (e *EmbLookup) WithPQ(pq quant.PQConfig) (*EmbLookup, error) {
 	clone := *e
 	clone.cfg.Compress = true
 	clone.cfg.PQ = pq
+	if err := clone.cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := clone.buildIndex(); err != nil {
+		return nil, err
+	}
+	return &clone, nil
+}
+
+// WithFastScan returns a sibling service sharing this model's trained
+// weights whose index is the 4-bit fast-scan variant of the current PQ
+// configuration (DESIGN.md §11) — same bytes per code, block-interleaved
+// layout, quantized-LUT scan with exact re-rank.
+func (e *EmbLookup) WithFastScan() (*EmbLookup, error) {
+	clone := *e
+	clone.cfg.Compress = true
+	clone.cfg.FastScan = true
 	if err := clone.cfg.Validate(); err != nil {
 		return nil, err
 	}

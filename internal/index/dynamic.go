@@ -216,8 +216,13 @@ func (d *Dynamic) Search(q []float32, k int) []Result {
 // row ids to external ids preserves the canonical (Dist, ID) tie order and
 // the merged selection equals a from-scratch scan of the live rows.
 func (d *Dynamic) SearchWith(s *Scratch, q []float32, k int) []Result {
+	return d.SearchAppendWith(s, q, k, nil)
+}
+
+// SearchAppendWith implements AppendSearcher: results land in dst[:0].
+func (d *Dynamic) SearchAppendWith(s *Scratch, q []float32, k int, dst []Result) []Result {
 	if k <= 0 {
-		return nil
+		return dst[:0]
 	}
 	d.mu.RLock()
 	defer d.mu.RUnlock()
@@ -237,7 +242,7 @@ func (d *Dynamic) SearchWith(s *Scratch, q []float32, k int) []Result {
 		}
 		t.push(id, mathx.SquaredL2(q, d.deltaVec[j*d.dim:(j+1)*d.dim]))
 	}
-	return t.sorted()
+	return t.appendSorted(dst)
 }
 
 // DynamicStats snapshots the segment sizes for observability.

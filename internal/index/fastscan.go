@@ -1,0 +1,370 @@
+package index
+
+import (
+	"fmt"
+
+	"emblookup/internal/mathx"
+	"emblookup/internal/par"
+	"emblookup/internal/quant"
+)
+
+// FastScan is the 4-bit fast-scan PQ index (DESIGN.md §11): the same
+// asymmetric-distance scan as PQ, restructured so the scalar inner loop is
+// a tight gather over register/L1-resident integer tables instead of a
+// float32 walk of an 8 KB LUT. Three pieces cooperate:
+//
+//   - 4-bit sub-quantizers (quant.Config4): twice the sub-quantizers at 16
+//     centroids each, so a row still costs M4/2 bytes — two nibble codes
+//     per byte — while each distance table row shrinks to 16 entries;
+//   - a block-interleaved code layout: codes for fsBlock (32) rows are
+//     transposed sub-quantizer-pair-major per block, so the kernel sweeps
+//     one 256-entry fused LUT over 32 consecutive code bytes at a time;
+//   - per-query uint8 quantization of the distance table
+//     (quant.QuantizeTableInto): distances accumulate in uint16 registers
+//     with a proven no-saturation bound, the early-abandon check is one
+//     integer compare per row, and the few surviving candidates are
+//     re-ranked with the exact float32 table.
+//
+// Because the quantized sum is a floor-based lower bound of the float sum,
+// the integer prune can only over-admit; the exact re-rank then selects
+// under the canonical (Dist, ID) order, so results are bit-identical to a
+// plain float32 ADC scan of the same 4-bit codes (fuzz- and
+// property-tested, including adversarial all-ties tables).
+type FastScan struct {
+	pq     *quant.ProductQuantizer // 4-bit: Ks == 16, even M
+	blocks []byte                  // ceil(n/32) blocks × (M/2)×32 bytes, pair-major
+	n      int
+}
+
+// fsBlock is the number of rows one interleaved block covers. 32 rows ×
+// one byte per sub-quantizer pair keeps a block's strip for one pair in
+// half a cache line and the whole block (at M4=16) in 256 bytes.
+const fsBlock = 32
+
+// fsBlockBytes returns the byte size of one interleaved block for an
+// m4-sub-quantizer code.
+func fsBlockBytes(m4 int) int { return m4 / 2 * fsBlock }
+
+// fsBlocksLen returns the total byte size of the interleaved code array
+// for n rows (the last block is padded with zero nibbles).
+func fsBlocksLen(m4, n int) int {
+	return (n + fsBlock - 1) / fsBlock * fsBlockBytes(m4)
+}
+
+// validate4 rejects quantizers the fast-scan layout cannot serve: the
+// kernel's LUT stride and nibble packing hard-code Ks4 centroids, pairs of
+// sub-quantizers share a byte, and uint16 accumulation must never saturate.
+func validate4(q *quant.ProductQuantizer) error {
+	if q.Ks != quant.Ks4 {
+		return fmt.Errorf("index: fast-scan needs Ks=%d sub-quantizers, got Ks=%d", quant.Ks4, q.Ks)
+	}
+	if q.M%2 != 0 {
+		return fmt.Errorf("index: fast-scan needs an even sub-quantizer count, got M=%d", q.M)
+	}
+	if q.M > quant.MaxM4 {
+		return fmt.Errorf("index: fast-scan M=%d exceeds %d (uint16 accumulation would saturate)", q.M, quant.MaxM4)
+	}
+	return nil
+}
+
+// NewFastScan trains a 4-bit product quantizer on data (use
+// quant.Config4 to derive the configuration from an 8-bit one) and encodes
+// every row into the block-interleaved layout. Training and encoding fan
+// across cfg.Workers; codes are byte-identical at any worker count.
+func NewFastScan(data *mathx.Matrix, cfg quant.PQConfig) (*FastScan, error) {
+	if cfg.Ks != quant.Ks4 {
+		return nil, fmt.Errorf("index: fast-scan config needs Ks=%d, got %d (derive it with quant.Config4)", quant.Ks4, cfg.Ks)
+	}
+	q, err := quant.TrainPQ(data, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := validate4(q); err != nil {
+		return nil, err
+	}
+	ix := &FastScan{pq: q, n: data.Rows, blocks: make([]byte, fsBlocksLen(q.M, data.Rows))}
+	nibbles := make([][]byte, par.Workers(data.Rows, cfg.Workers))
+	par.ForEachWorker(data.Rows, cfg.Workers, func(w, i int) {
+		nib := nibbles[w]
+		if nib == nil {
+			nib = make([]byte, q.M)
+			nibbles[w] = nib
+		}
+		q.EncodeInto(data.Row(i), nib)
+		ix.setRow(i, nib)
+	})
+	return ix, nil
+}
+
+// setRow scatters one row's nibble codes into its block (two codes per
+// byte, pair-major strips of fsBlock bytes).
+func (ix *FastScan) setRow(row int, nib []byte) {
+	np := ix.pq.M / 2
+	blk := ix.blocks[row/fsBlock*fsBlockBytes(ix.pq.M):]
+	r := row % fsBlock
+	for p := 0; p < np; p++ {
+		blk[p*fsBlock+r] = nib[2*p]&0xf | nib[2*p+1]<<4
+	}
+}
+
+// rowNibbles gathers one row's nibble codes back out of the interleaved
+// layout into nib (length M).
+func (ix *FastScan) rowNibbles(row int, nib []byte) {
+	np := ix.pq.M / 2
+	blk := ix.blocks[row/fsBlock*fsBlockBytes(ix.pq.M):]
+	r := row % fsBlock
+	for p := 0; p < np; p++ {
+		b := blk[p*fsBlock+r]
+		nib[2*p] = b & 0xf
+		nib[2*p+1] = b >> 4
+	}
+}
+
+// interleave4 transposes row-major nibble codes (n rows × m4 nibbles, one
+// per byte) into the block-interleaved layout; deinterleave4 inverts it.
+// They define the layout the fuzz round-trip locks down.
+func interleave4(nib []byte, m4, n int) []byte {
+	np := m4 / 2
+	blocks := make([]byte, fsBlocksLen(m4, n))
+	for i := 0; i < n; i++ {
+		blk := blocks[i/fsBlock*fsBlockBytes(m4):]
+		r := i % fsBlock
+		for p := 0; p < np; p++ {
+			blk[p*fsBlock+r] = nib[i*m4+2*p]&0xf | nib[i*m4+2*p+1]<<4
+		}
+	}
+	return blocks
+}
+
+func deinterleave4(blocks []byte, m4, n int) []byte {
+	np := m4 / 2
+	nib := make([]byte, n*m4)
+	for i := 0; i < n; i++ {
+		blk := blocks[i/fsBlock*fsBlockBytes(m4):]
+		r := i % fsBlock
+		for p := 0; p < np; p++ {
+			b := blk[p*fsBlock+r]
+			nib[i*m4+2*p] = b & 0xf
+			nib[i*m4+2*p+1] = b >> 4
+		}
+	}
+	return nib
+}
+
+// Len returns the number of stored codes.
+func (ix *FastScan) Len() int { return ix.n }
+
+// Dim returns the original vector dimensionality.
+func (ix *FastScan) Dim() int { return ix.pq.D }
+
+// SizeBytes returns the interleaved code storage cost (including the zero
+// padding of the final partial block).
+func (ix *FastScan) SizeBytes() int { return len(ix.blocks) }
+
+// Quantizer exposes the trained 4-bit product quantizer.
+func (ix *FastScan) Quantizer() *quant.ProductQuantizer { return ix.pq }
+
+// Search builds the float ADC table for q once, quantizes it, and scans
+// all blocks. It is a thin wrapper over SearchWith with pooled scratch.
+func (ix *FastScan) Search(q []float32, k int) []Result {
+	s := GetScratch()
+	defer PutScratch(s)
+	return ix.SearchWith(s, q, k)
+}
+
+// SearchWith implements ScratchSearcher.
+func (ix *FastScan) SearchWith(s *Scratch, q []float32, k int) []Result {
+	return ix.SearchAppendWith(s, q, k, nil)
+}
+
+// SearchAppendWith implements AppendSearcher: results land in dst[:0].
+func (ix *FastScan) SearchAppendWith(s *Scratch, q []float32, k int, dst []Result) []Result {
+	if k <= 0 {
+		return dst[:0]
+	}
+	table := ix.prepareScan(s, q)
+	t := &s.res
+	t.reset(k)
+	ix.scanRange(table, s, t, 0, ix.n)
+	return t.appendSorted(dst)
+}
+
+// prepareScan implements rangeScanner: the shared per-query state is the
+// exact float32 ADC table (M4 rows of 16 entries — at M4=16 a single
+// kilobyte). Each range scan derives its integer tables from it, so the
+// shared state stays a plain []float32 and sharded scans need no extra
+// coordination.
+func (ix *FastScan) prepareScan(s *Scratch, q []float32) []float32 {
+	s.table = mathx.Resize(s.table, ix.pq.M*ix.pq.Ks)
+	ix.pq.ADCTableInto(q, s.table)
+	return s.table
+}
+
+// scanRange implements rangeScanner: quantize the float table into s's
+// integer LUTs, then walk the blocks covering rows [lo, hi).
+//
+// The fused pair LUT is the scalar replacement for the SIMD shuffle FAISS
+// uses: entry b of pair p holds lut8[2p][b&15] + lut8[2p+1][b>>4], so one
+// byte load + one uint16 load + one add advance a row by TWO
+// sub-quantizers. At M4=16 the fused tables total 4 KB and the hot block
+// strip is 32 consecutive bytes — the memory layout, not intrinsics, keeps
+// the gather in L1.
+func (ix *FastScan) scanRange(table []float32, s *Scratch, t *topK, lo, hi int) {
+	if lo >= hi {
+		return
+	}
+	m4 := ix.pq.M
+	np := m4 / 2
+	s.lut8 = resizeBytes(s.lut8, m4*quant.Ks4)
+	bias, delta := ix.pq.QuantizeTableInto(table, s.lut8)
+	s.lut2 = resizeU16(s.lut2, np*256)
+	for p := 0; p < np; p++ {
+		lo8 := s.lut8[2*p*quant.Ks4 : 2*p*quant.Ks4+quant.Ks4]
+		hi8 := s.lut8[(2*p+1)*quant.Ks4 : (2*p+1)*quant.Ks4+quant.Ks4]
+		fused := s.lut2[p*256 : p*256+256]
+		for b := range fused {
+			fused[b] = uint16(lo8[b&0xf]) + uint16(hi8[b>>4])
+		}
+	}
+	invDelta := 1 / delta
+	slack := uint32(m4) + 1
+	qlimit := fsLimit(t.worst(), bias, invDelta, slack)
+	bpb := fsBlockBytes(m4)
+	var qd [fsBlock]uint16
+	for b0 := lo / fsBlock * fsBlock; b0 < hi; b0 += fsBlock {
+		blk := ix.blocks[b0/fsBlock*bpb:][:bpb:bpb]
+		// Accumulate the quantized distances of all 32 rows, one fused
+		// pair LUT swept over one 32-byte code strip at a time. The first
+		// pair writes instead of adds, so qd needs no per-block reset.
+		fused := s.lut2[:256]
+		cb := blk[:fsBlock:fsBlock]
+		for r := 0; r < fsBlock; r += 4 {
+			qd[r] = fused[cb[r]]
+			qd[r+1] = fused[cb[r+1]]
+			qd[r+2] = fused[cb[r+2]]
+			qd[r+3] = fused[cb[r+3]]
+		}
+		for p := 1; p < np; p++ {
+			fused := s.lut2[p*256 : p*256+256]
+			cb := blk[p*fsBlock : p*fsBlock+fsBlock : p*fsBlock+fsBlock]
+			for r := 0; r < fsBlock; r += 4 {
+				qd[r] += fused[cb[r]]
+				qd[r+1] += fused[cb[r+1]]
+				qd[r+2] += fused[cb[r+2]]
+				qd[r+3] += fused[cb[r+3]]
+			}
+		}
+		// Candidate pass: one integer compare per row; survivors pay the
+		// exact float32 re-rank and the heap push.
+		rlo, rhi := 0, fsBlock
+		if b0 < lo {
+			rlo = lo - b0
+		}
+		if b0+fsBlock > hi {
+			rhi = hi - b0
+		}
+		for r := rlo; r < rhi; r++ {
+			if uint32(qd[r]) > qlimit {
+				continue
+			}
+			t.push(int32(b0+r), fsRowDist(table, blk, np, r))
+			qlimit = fsLimit(t.worst(), bias, invDelta, slack)
+		}
+	}
+}
+
+// fsLimit converts the current k-th best float distance into the quantized
+// early-abandon threshold: rows whose integer sum exceeds it have a float
+// lower bound strictly above w and can never enter the heap. The slack of
+// M+1 quantization steps absorbs FP rounding in the floor quantization and
+// in this division, so the prune can only over-admit (a few extra exact
+// re-ranks), never drop a row the exact scan would keep — including exact
+// ties, which may still enter on the canonical ID tie-break.
+func fsLimit(w, bias, invDelta float32, slack uint32) uint32 {
+	v := (w - bias) * invDelta
+	if !(v < 65000) { // catches +Inf and the underfull-heap sentinel
+		return 1<<32 - 1
+	}
+	if v < 0 {
+		return slack
+	}
+	return uint32(v) + slack
+}
+
+// fsRowDist computes row r's exact float32 ADC distance from its block
+// strip, summing sub-quantizers in ascending order — the identical
+// association order scanPlain4 uses, so re-ranked distances are
+// bit-identical to the reference scan's.
+func fsRowDist(table []float32, blk []byte, np, r int) float32 {
+	var d float32
+	for p := 0; p < np; p++ {
+		b := blk[p*fsBlock+r]
+		d += table[2*p*quant.Ks4+int(b&0xf)]
+		d += table[(2*p+1)*quant.Ks4+int(b>>4)]
+	}
+	return d
+}
+
+// scanPlain4 is the straightforward float32 ADC scan over the 4-bit codes
+// — the ground-truth reference the fast-scan kernel is tested against.
+func (ix *FastScan) scanPlain4(table []float32, t *topK) {
+	np := ix.pq.M / 2
+	bpb := fsBlockBytes(ix.pq.M)
+	for i := 0; i < ix.n; i++ {
+		blk := ix.blocks[i/fsBlock*bpb:]
+		t.push(int32(i), fsRowDist(table, blk, np, i%fsBlock))
+	}
+}
+
+// appendRow encodes vec with the sealed quantizer into the next row slot,
+// growing a fresh zero-padded block when the last one is full — how a
+// fast-scan index absorbs Dynamic's delta segment at compaction.
+func (ix *FastScan) appendRow(vec []float32) {
+	if ix.n%fsBlock == 0 {
+		ix.blocks = append(ix.blocks, make([]byte, fsBlockBytes(ix.pq.M))...)
+	}
+	nib := make([]byte, ix.pq.M)
+	ix.pq.EncodeInto(vec, nib)
+	ix.setRow(ix.n, nib)
+	ix.n++
+}
+
+// Slice extracts rows [lo, hi) into a new FastScan sharing the quantizer
+// but owning re-interleaved blocks (row ids rebase to 0) — the fast-scan
+// leg of core.WithPartition. Interleaved blocks cannot be aliased on
+// non-block boundaries, so the nibbles are copied; the cost is one pass
+// over the slice's codes.
+func (ix *FastScan) Slice(lo, hi int) (*FastScan, error) {
+	if lo < 0 || hi > ix.n || lo > hi {
+		return nil, fmt.Errorf("index: fast-scan slice [%d, %d) outside rows [0, %d)", lo, hi, ix.n)
+	}
+	out := &FastScan{pq: ix.pq, n: hi - lo, blocks: make([]byte, fsBlocksLen(ix.pq.M, hi-lo))}
+	nib := make([]byte, ix.pq.M)
+	for i := lo; i < hi; i++ {
+		ix.rowNibbles(i, nib)
+		out.setRow(i-lo, nib)
+	}
+	return out, nil
+}
+
+// Reconstruct decodes the stored approximation of vector id.
+func (ix *FastScan) Reconstruct(id int32) []float32 {
+	nib := make([]byte, ix.pq.M)
+	ix.rowNibbles(int(id), nib)
+	return ix.pq.Decode(nib)
+}
+
+// resizeBytes and resizeU16 are mathx.Resize for the integer LUT buffers.
+func resizeBytes(buf []uint8, n int) []uint8 {
+	if cap(buf) < n {
+		return make([]uint8, n)
+	}
+	return buf[:n]
+}
+
+func resizeU16(buf []uint16, n int) []uint16 {
+	if cap(buf) < n {
+		return make([]uint16, n)
+	}
+	return buf[:n]
+}

@@ -14,6 +14,124 @@ import (
 // counts. Distance tables are drawn from a small integer alphabet when
 // tieMod is nonzero, so exact distance ties (the hard case for top-k
 // equivalence) dominate the search space.
+// syntheticFastScan builds a fast-scan index directly from arbitrary
+// nibble codes (n rows × m4 codes, each < ks ≤ 16) with a fake trained
+// quantizer of Dsub=1 — no k-means, so fuzzers control the codes exactly.
+func syntheticFastScan(nib []byte, m4, ks, n int) *FastScan {
+	cbs := make([]*mathx.Matrix, m4)
+	for m := range cbs {
+		cbs[m] = mathx.NewMatrix(ks, 1)
+	}
+	pq := &quant.ProductQuantizer{D: m4, M: m4, Ks: quant.Ks4, Dsub: 1, Codebooks: cbs}
+	return &FastScan{pq: pq, blocks: interleave4(nib, m4, n), n: n}
+}
+
+// FuzzInterleave4RoundTrip locks down the block-interleaved 4-bit layout:
+// interleave4 followed by deinterleave4 is the identity on nibble codes,
+// and the padding rows of the final partial block stay zero.
+func FuzzInterleave4RoundTrip(f *testing.F) {
+	f.Add(uint8(1), uint8(1), uint64(0))
+	f.Add(uint8(33), uint8(4), uint64(7))
+	f.Add(uint8(96), uint8(8), uint64(42))
+	f.Fuzz(func(t *testing.T, nRaw, m4Raw uint8, seed uint64) {
+		n := int(nRaw)%200 + 1
+		m4 := (int(m4Raw)%8 + 1) * 2
+		rng := mathx.NewRNG(seed)
+		nib := make([]byte, n*m4)
+		for i := range nib {
+			nib[i] = byte(rng.Intn(quant.Ks4))
+		}
+		blocks := interleave4(nib, m4, n)
+		if len(blocks) != fsBlocksLen(m4, n) {
+			t.Fatalf("interleave4(%d rows, M=%d) = %d bytes, want %d", n, m4, len(blocks), fsBlocksLen(m4, n))
+		}
+		back := deinterleave4(blocks, m4, n)
+		for i := range nib {
+			if nib[i] != back[i] {
+				t.Fatalf("round trip diverges at nibble %d: %d vs %d", i, nib[i], back[i])
+			}
+		}
+		// Padding rows must read back zero (the layout's persistence
+		// validator depends on it).
+		padded := (n + fsBlock - 1) / fsBlock * fsBlock
+		pad := deinterleave4(blocks, m4, padded)
+		for i := n * m4; i < len(pad); i++ {
+			if pad[i] != 0 {
+				t.Fatalf("padding nibble %d = %d, want 0", i, pad[i])
+			}
+		}
+	})
+}
+
+// FuzzFastScanEquivalence asserts the quantized early-abandoning fast-scan
+// kernel returns bit-identical results to the plain float32 scan of the
+// same 4-bit codes, for arbitrary shapes, k, shard counts, and tie-heavy
+// integer distance tables (where the quantized prune must over-admit on
+// exact ties, never drop).
+func FuzzFastScanEquivalence(f *testing.F) {
+	f.Add(uint16(1), uint8(1), uint8(1), uint16(1), uint8(1), uint64(0), uint8(0))
+	f.Add(uint16(200), uint8(4), uint8(15), uint16(10), uint8(4), uint64(7), uint8(3))
+	f.Add(uint16(700), uint8(2), uint8(7), uint16(250), uint8(7), uint64(42), uint8(1))
+	f.Add(uint16(96), uint8(6), uint8(3), uint16(5), uint8(2), uint64(99), uint8(0))
+	f.Fuzz(func(t *testing.T, nRaw uint16, m4Raw, ksRaw uint8, kRaw uint16, shardsRaw uint8, seed uint64, tieMod uint8) {
+		n := int(nRaw)%1200 + 1
+		m4 := (int(m4Raw)%6 + 1) * 2
+		ks := int(ksRaw)%quant.Ks4 + 1
+		k := int(kRaw)%300 + 1
+		shards := int(shardsRaw)%9 + 1
+
+		rng := mathx.NewRNG(seed)
+		nib := make([]byte, n*m4)
+		for i := range nib {
+			nib[i] = byte(rng.Intn(ks))
+		}
+		ix := syntheticFastScan(nib, m4, ks, n)
+		table := make([]float32, m4*quant.Ks4)
+		for m := 0; m < m4; m++ {
+			for c := 0; c < ks; c++ {
+				if tieMod == 0 {
+					table[m*quant.Ks4+c] = rng.Float32()
+				} else {
+					table[m*quant.Ks4+c] = float32(rng.Intn(int(tieMod)%4 + 1))
+				}
+			}
+		}
+
+		plain := newTopK(k)
+		ix.scanPlain4(table, plain)
+		want := plain.sorted()
+
+		s := GetScratch()
+		fast := newTopK(k)
+		ix.scanRange(table, s, fast, 0, n)
+		got := fast.sorted()
+		if len(want) != len(got) {
+			t.Fatalf("fast-scan: %d vs %d results", len(want), len(got))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("fast-scan diverges at %d: %+v vs %+v", i, want[i], got[i])
+			}
+		}
+
+		sh, err := NewSharded(ix, shards, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		merged := sh.scanMerged(s, table, k)
+		PutScratch(s)
+		if len(want) != len(merged) {
+			t.Fatalf("sharded: %d vs %d results", len(want), len(merged))
+		}
+		for i := range want {
+			if want[i] != merged[i] {
+				t.Fatalf("sharded fast-scan diverges at %d (shards=%d): %+v vs %+v",
+					i, shards, want[i], merged[i])
+			}
+		}
+	})
+}
+
 func FuzzScanEquivalence(f *testing.F) {
 	f.Add(uint16(1), uint8(1), uint8(1), uint16(1), uint8(1), uint64(0), uint8(0))
 	f.Add(uint16(300), uint8(8), uint8(31), uint16(10), uint8(4), uint64(7), uint8(3))

@@ -61,6 +61,15 @@ func BatchSearch(ix Index, queries [][]float32, k, parallelism int) [][]Result {
 		})
 		return out
 	}
+	as, appendable := ix.(AppendSearcher)
+	appendable = appendable && k > 0
+	var flat []Result
+	if appendable {
+		// One flat array backs every query's results: slot i appends into
+		// its capacity-clipped cap-k window, so the batch's result slices
+		// cost one allocation.
+		flat = make([]Result, len(queries)*k)
+	}
 	scratches := make([]*Scratch, par.Workers(len(queries), parallelism))
 	par.ForEachWorker(len(queries), parallelism, func(w, i int) {
 		s := scratches[w]
@@ -68,7 +77,11 @@ func BatchSearch(ix Index, queries [][]float32, k, parallelism int) [][]Result {
 			s = GetScratch()
 			scratches[w] = s
 		}
-		out[i] = ss.SearchWith(s, queries[i], k)
+		if appendable {
+			out[i] = as.SearchAppendWith(s, queries[i], k, flat[i*k:i*k:(i+1)*k])
+		} else {
+			out[i] = ss.SearchWith(s, queries[i], k)
+		}
 	})
 	for _, s := range scratches {
 		if s != nil {
@@ -224,13 +237,18 @@ func (f *Flat) Search(q []float32, k int) []Result {
 
 // SearchWith implements ScratchSearcher: the top-k heap is reused from s.
 func (f *Flat) SearchWith(s *Scratch, q []float32, k int) []Result {
+	return f.SearchAppendWith(s, q, k, nil)
+}
+
+// SearchAppendWith implements AppendSearcher: results land in dst[:0].
+func (f *Flat) SearchAppendWith(s *Scratch, q []float32, k int, dst []Result) []Result {
 	if k <= 0 {
-		return nil
+		return dst[:0]
 	}
 	t := &s.res
 	t.reset(k)
 	f.scanRange(q, s, t, 0, f.data.Rows)
-	return t.sorted()
+	return t.appendSorted(dst)
 }
 
 // prepareScan implements rangeScanner: an exact scan needs no per-query

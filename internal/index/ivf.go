@@ -137,8 +137,13 @@ func (ix *IVF) Search(q []float32, k int) []Result {
 // SearchWith implements ScratchSearcher: the probe ranking, residual
 // vector, ADC table, and top-k heap are all reused from s.
 func (ix *IVF) SearchWith(s *Scratch, q []float32, k int) []Result {
+	return ix.SearchAppendWith(s, q, k, nil)
+}
+
+// SearchAppendWith implements AppendSearcher: results land in dst[:0].
+func (ix *IVF) SearchAppendWith(s *Scratch, q []float32, k int, dst []Result) []Result {
 	if k <= 0 {
-		return nil
+		return dst[:0]
 	}
 	// Rank coarse centroids.
 	probes := &s.probes
@@ -178,5 +183,5 @@ func (ix *IVF) SearchWith(s *Scratch, q []float32, k int) []Result {
 			t.push(id, d)
 		}
 	}
-	return t.sorted()
+	return t.appendSorted(dst)
 }

@@ -37,6 +37,43 @@ func NewPQFromParts(q *quant.ProductQuantizer, codes []byte) (*PQ, error) {
 	return &PQ{pq: q, codes: codes, n: len(codes) / q.M}, nil
 }
 
+// Blocks exposes the block-interleaved 4-bit code array.
+func (ix *FastScan) Blocks() []byte { return ix.blocks }
+
+// NewFastScanFromParts reassembles a fast-scan index from a trained 4-bit
+// quantizer, its block-interleaved code array, and the row count. Every
+// nibble is validated: live rows must reference trained centroids and the
+// padding rows of the final partial block must be zero.
+func NewFastScanFromParts(q *quant.ProductQuantizer, blocks []byte, n int) (*FastScan, error) {
+	if err := validateQuantizer(q); err != nil {
+		return nil, err
+	}
+	if err := validate4(q); err != nil {
+		return nil, err
+	}
+	if n < 0 || len(blocks) != fsBlocksLen(q.M, n) {
+		return nil, fmt.Errorf("index: fast-scan block array length %d for %d rows (want %d)", len(blocks), n, fsBlocksLen(q.M, n))
+	}
+	ix := &FastScan{pq: q, blocks: blocks, n: n}
+	nib := make([]byte, q.M)
+	rows := (n + fsBlock - 1) / fsBlock * fsBlock
+	for i := 0; i < rows; i++ {
+		ix.rowNibbles(i, nib)
+		for m, c := range nib {
+			if i >= n {
+				if c != 0 {
+					return nil, fmt.Errorf("index: fast-scan padding row %d holds non-zero nibble %d", i, c)
+				}
+				continue
+			}
+			if int(c) >= q.Codebooks[m].Rows {
+				return nil, fmt.Errorf("index: fast-scan row %d references centroid %d of codebook %d (trained %d)", i, c, m, q.Codebooks[m].Rows)
+			}
+		}
+	}
+	return ix, nil
+}
+
 // Coarse exposes the NList×D coarse centroid matrix.
 func (ix *IVF) Coarse() *mathx.Matrix { return ix.coarse }
 

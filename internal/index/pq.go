@@ -57,14 +57,19 @@ func (ix *PQ) Search(q []float32, k int) []Result {
 // block distance strip are reused from s, and the codes are walked with the
 // blocked scan.
 func (ix *PQ) SearchWith(s *Scratch, q []float32, k int) []Result {
+	return ix.SearchAppendWith(s, q, k, nil)
+}
+
+// SearchAppendWith implements AppendSearcher: results land in dst[:0].
+func (ix *PQ) SearchAppendWith(s *Scratch, q []float32, k int, dst []Result) []Result {
 	if k <= 0 {
-		return nil
+		return dst[:0]
 	}
 	table := ix.prepareScan(s, q)
 	t := &s.res
 	t.reset(k)
 	ix.scanBlocked(table, t, &s.dists)
-	return t.sorted()
+	return t.appendSorted(dst)
 }
 
 // scanBlock is the number of codes one blocked-scan strip covers. At the

@@ -97,6 +97,70 @@ func TestPQConsistencyProperty(t *testing.T) {
 	}
 }
 
+// Property: on adversarial tie-heavy tables (tiny integer alphabet, so
+// nearly every distance collides) the fast-scan candidate set is a
+// superset of the exact top-k — the floored quantization makes the integer
+// sum a lower bound, so the prune may only over-admit — and after the exact
+// float32 re-rank the returned top-k is bit-identical to the plain scan's.
+// Bit-identity subsumes the superset claim: a dropped exact-top-k row would
+// be missing from the output.
+func TestFastScanSupersetProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint16, m4Raw, ksRaw, kRaw, alphaRaw uint8) bool {
+		n := int(nRaw)%600 + 1
+		m4 := (int(m4Raw)%5 + 1) * 2
+		ks := int(ksRaw)%quant.Ks4 + 1
+		k := int(kRaw)%40 + 1
+		alpha := int(alphaRaw)%3 + 1 // distance alphabet {0..alpha}: all ties at 1
+
+		rng := mathx.NewRNG(seed)
+		nib := make([]byte, n*m4)
+		for i := range nib {
+			nib[i] = byte(rng.Intn(ks))
+		}
+		ix := syntheticFastScan(nib, m4, ks, n)
+		table := make([]float32, m4*quant.Ks4)
+		for m := 0; m < m4; m++ {
+			for c := 0; c < ks; c++ {
+				table[m*quant.Ks4+c] = float32(rng.Intn(alpha + 1))
+			}
+		}
+
+		plain := newTopK(k)
+		ix.scanPlain4(table, plain)
+		want := plain.sorted()
+
+		s := GetScratch()
+		defer PutScratch(s)
+		fast := newTopK(k)
+		ix.scanRange(table, s, fast, 0, n)
+		got := fast.sorted()
+
+		if len(want) != len(got) {
+			return false
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				return false
+			}
+		}
+		// The exact top-k ids must all be present (the superset property,
+		// stated directly).
+		in := map[int32]bool{}
+		for _, r := range got {
+			in[r.ID] = true
+		}
+		for _, r := range want {
+			if !in[r.ID] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func approxEq(a, b, eps float32) bool {
 	d := a - b
 	if d < 0 {

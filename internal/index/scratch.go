@@ -15,6 +15,8 @@ type Scratch struct {
 	residual []float32
 	probeBuf []Result
 	dists    [scanBlock]float32
+	lut8     []uint8  // fast-scan: uint8-quantized ADC table (M4 × Ks4)
+	lut2     []uint16 // fast-scan: fused pair LUTs (M4/2 × 256)
 }
 
 // ScratchSearcher is implemented by indexes whose search can reuse a
@@ -25,6 +27,16 @@ type ScratchSearcher interface {
 	// SearchWith is Search with all working memory taken from s. The
 	// returned slice is freshly allocated (it outlives the Scratch).
 	SearchWith(s *Scratch, q []float32, k int) []Result
+}
+
+// AppendSearcher is implemented by indexes whose search can additionally
+// reuse a caller-owned result buffer: results are written into dst[:0]
+// (grown if needed) and the possibly-reallocated slice returned, so a bulk
+// caller that holds one buffer per slot searches with zero per-query
+// allocations. All indexes in this package implement it; SearchWith is
+// equivalent to SearchAppendWith with a nil dst.
+type AppendSearcher interface {
+	SearchAppendWith(s *Scratch, q []float32, k int, dst []Result) []Result
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}

@@ -42,7 +42,7 @@ type Sharded struct {
 func NewSharded(inner Index, shards, parallelism int) (*Sharded, error) {
 	rs, ok := inner.(rangeScanner)
 	if !ok {
-		return nil, fmt.Errorf("index: %T does not support sharded scans (want *PQ or *Flat)", inner)
+		return nil, fmt.Errorf("index: %T does not support sharded scans (want *PQ, *FastScan, or *Flat)", inner)
 	}
 	if shards <= 0 {
 		return nil, fmt.Errorf("index: shard count must be positive, got %d", shards)
@@ -79,11 +79,16 @@ func (sh *Sharded) Search(q []float32, k int) []Result {
 // are reused from s; every shard checks its own Scratch out of the shared
 // pool for the duration of the fan-out.
 func (sh *Sharded) SearchWith(s *Scratch, q []float32, k int) []Result {
+	return sh.SearchAppendWith(s, q, k, nil)
+}
+
+// SearchAppendWith implements AppendSearcher: results land in dst[:0].
+func (sh *Sharded) SearchAppendWith(s *Scratch, q []float32, k int, dst []Result) []Result {
 	if k <= 0 {
-		return nil
+		return dst[:0]
 	}
 	state := sh.inner.prepareScan(s, q)
-	return sh.scanMerged(s, state, k)
+	return sh.scanMergedAppend(s, state, k, dst)
 }
 
 // scanMerged runs the per-shard scans for one prepared query and merges the
@@ -92,15 +97,22 @@ func (sh *Sharded) SearchWith(s *Scratch, q []float32, k int) []Result {
 // the fan-out was scheduled; canonical top-k selection makes it equal to
 // the unsharded scan's output.
 func (sh *Sharded) scanMerged(s *Scratch, state []float32, k int) []Result {
+	return sh.scanMergedAppend(s, state, k, nil)
+}
+
+func (sh *Sharded) scanMergedAppend(s *Scratch, state []float32, k int, dst []Result) []Result {
 	ns := sh.Shards()
 	if ns == 0 {
-		return []Result{}
+		if dst == nil {
+			return []Result{}
+		}
+		return dst[:0]
 	}
 	if ns == 1 {
 		t := &s.res
 		t.reset(k)
 		sh.inner.scanRange(state, s, t, sh.bounds[0], sh.bounds[1])
-		return t.sorted()
+		return t.appendSorted(dst)
 	}
 	scratches := make([]*Scratch, ns)
 	par.ForEach(ns, sh.parallelism, func(i int) {
@@ -118,7 +130,7 @@ func (sh *Sharded) scanMerged(s *Scratch, state []float32, k int) []Result {
 		}
 		PutScratch(ss)
 	}
-	return t.sorted()
+	return t.appendSorted(dst)
 }
 
 // SearchBatch implements BatchSearcher: the batch is scanned shard-major.
@@ -165,7 +177,10 @@ func (sh *Sharded) SearchBatch(queries [][]float32, k, parallelism int) [][]Resu
 		h.reset(k)
 		sh.inner.scanRange(states[qi], ss, h, sh.bounds[si], sh.bounds[si+1])
 	})
-	// Phase 3: per-query merge in shard order.
+	// Phase 3: per-query merge in shard order. One flat array backs every
+	// query's results (a merged heap holds at most k), so the batch's
+	// result slices cost one allocation.
+	flat := make([]Result, nq*k)
 	par.ForEach(nq, parallelism, func(qi int) {
 		t := &prep[qi].res
 		t.reset(k)
@@ -174,7 +189,7 @@ func (sh *Sharded) SearchBatch(queries [][]float32, k, parallelism int) [][]Resu
 				t.push(r.ID, r.Dist)
 			}
 		}
-		out[qi] = t.sorted()
+		out[qi] = t.appendSorted(flat[qi*k : qi*k : (qi+1)*k])
 	})
 	for _, s := range heaps {
 		PutScratch(s)

@@ -14,8 +14,8 @@ func TestWorkersClamping(t *testing.T) {
 		{-3, 8, 0},
 		{10, 1, 1},
 		{10, 4, 4},
-		{3, 8, 3},  // parallelism > n clamps to n
-		{5, 0, min(5, runtime.GOMAXPROCS(0))},  // ≤0 means GOMAXPROCS
+		{3, 8, 3},                             // parallelism > n clamps to n
+		{5, 0, min(5, runtime.GOMAXPROCS(0))}, // ≤0 means GOMAXPROCS
 		{5, -1, min(5, runtime.GOMAXPROCS(0))},
 	}
 	for _, c := range cases {

@@ -1,0 +1,154 @@
+package quant
+
+import "fmt"
+
+// This file is the quantization layer of the fast-scan ADC path (DESIGN.md
+// §11): 4-bit sub-quantizers whose codes pack two per byte, and per-query
+// uint8 quantization of the ADC distance table so the table a scan gathers
+// from shrinks from Ks float32s per sub-quantizer to 16 bytes — small enough
+// to stay L1-resident (and, fused pairwise by the scan kernel, to stay in a
+// few cache lines) while distances accumulate in integer registers.
+
+// Ks4 is the centroid count of a 4-bit sub-quantizer: every code is a
+// nibble.
+const Ks4 = 16
+
+// MaxM4 bounds the sub-quantizer count of the 4-bit path. A scanned
+// distance is a sum of M uint8 table entries accumulated in uint16, so
+// M*255 must not exceed 65535: M ≤ 257 guarantees the accumulator can
+// never saturate. (In practice M = Dim/Dsub is far smaller.)
+const MaxM4 = 257
+
+// Config4 derives the 4-bit twin of an 8-bit PQ configuration: twice the
+// sub-quantizers at 16 centroids each, so the bytes-per-code storage cost
+// is unchanged (two nibble codes pack into each byte) while each sub-space
+// is half as wide — the FAISS fast-scan trade: coarser codebooks, finer
+// splits, and a distance table 16× smaller per sub-quantizer.
+func Config4(cfg PQConfig) PQConfig {
+	cfg.M *= 2
+	cfg.Ks = Ks4
+	return cfg
+}
+
+// Pack4 packs nibble codes two per byte: code 2j lands in the low nibble of
+// packed[j], code 2j+1 in the high nibble. len(nibbles) must be even and
+// len(packed) = len(nibbles)/2; every nibble must be < 16.
+func Pack4(nibbles, packed []byte) {
+	if len(nibbles) != 2*len(packed) {
+		panic(fmt.Sprintf("quant: Pack4 of %d nibbles into %d bytes", len(nibbles), len(packed)))
+	}
+	for j := range packed {
+		packed[j] = nibbles[2*j]&0xf | nibbles[2*j+1]<<4
+	}
+}
+
+// Unpack4 is the inverse of Pack4.
+func Unpack4(packed, nibbles []byte) {
+	if len(nibbles) != 2*len(packed) {
+		panic(fmt.Sprintf("quant: Unpack4 of %d bytes into %d nibbles", len(packed), len(nibbles)))
+	}
+	for j, b := range packed {
+		nibbles[2*j] = b & 0xf
+		nibbles[2*j+1] = b >> 4
+	}
+}
+
+// Encode4Into quantizes vec into its packed 4-bit code: M/2 bytes, two
+// sub-quantizer codes per byte in Pack4 order. The quantizer must be 4-bit
+// (Ks ≤ 16) with an even M. nibbles is caller scratch of length M (reused
+// across calls); pass nil to allocate.
+func (pq *ProductQuantizer) Encode4Into(vec []float32, packed, nibbles []byte) {
+	if pq.Ks > Ks4 || pq.M%2 != 0 {
+		panic(fmt.Sprintf("quant: Encode4Into on a non-4-bit quantizer (M=%d Ks=%d)", pq.M, pq.Ks))
+	}
+	if nibbles == nil {
+		nibbles = make([]byte, pq.M)
+	}
+	pq.EncodeInto(vec, nibbles[:pq.M])
+	Pack4(nibbles[:pq.M], packed)
+}
+
+// Decode4 reconstructs the approximate vector for a packed 4-bit code.
+func (pq *ProductQuantizer) Decode4(packed []byte) []float32 {
+	nibbles := make([]byte, pq.M)
+	Unpack4(packed, nibbles)
+	return pq.Decode(nibbles)
+}
+
+// QuantizeTableInto quantizes the float32 ADC table (laid out as
+// ADCTableInto: M rows of Ks entries) to uint8 with one shared scale:
+//
+//	lut8[m*Ks+c] = floor((table[m*Ks+c] - min_m) / delta)
+//	bias  = Σ_m min_m
+//	delta = max_{m,c} (table[m*Ks+c] - min_m) / 255
+//
+// where min_m/max range over each sub-quantizer's *trained* centroids
+// (entries past Codebooks[m].Rows are zero-filled padding no code ever
+// references; they are written as 0). Because the quantization floors,
+// every quantized sum is a lower bound of its float sum:
+//
+//	bias + delta·Σ_m lut8[m][c_m]  ≤  Σ_m table[m][c_m]
+//	                               <  bias + delta·(Σ_m lut8[m][c_m] + M)
+//
+// so a scan can early-abandon on the integer sum without ever dropping a
+// row the exact table would keep, and the quantization error of any
+// distance is below M·delta. Saturation: the integer sum of M uint8
+// entries is at most M·255, which fits uint16 for M ≤ MaxM4 — the scan
+// kernels accumulate in uint16 without overflow checks on that guarantee.
+//
+// When the table is constant per sub-quantizer (delta would be 0), delta is
+// forced to 1 and every entry quantizes to 0; the bounds above still hold.
+func (pq *ProductQuantizer) QuantizeTableInto(table []float32, lut8 []uint8) (bias, delta float32) {
+	if len(table) != pq.M*pq.Ks || len(lut8) != pq.M*pq.Ks {
+		panic(fmt.Sprintf("quant: QuantizeTableInto length %d/%d, want %d", len(table), len(lut8), pq.M*pq.Ks))
+	}
+	if pq.M > MaxM4 {
+		panic(fmt.Sprintf("quant: M=%d exceeds MaxM4=%d (uint16 accumulation would saturate)", pq.M, MaxM4))
+	}
+	var spread float32
+	for m := 0; m < pq.M; m++ {
+		rows := pq.Codebooks[m].Rows
+		base := m * pq.Ks
+		mn, mx := table[base], table[base]
+		for c := 1; c < rows; c++ {
+			if v := table[base+c]; v < mn {
+				mn = v
+			} else if v > mx {
+				mx = v
+			}
+		}
+		bias += mn
+		if s := mx - mn; s > spread {
+			spread = s
+		}
+	}
+	delta = spread / 255
+	if delta <= 0 {
+		delta = 1
+	}
+	inv := 1 / delta
+	for m := 0; m < pq.M; m++ {
+		rows := pq.Codebooks[m].Rows
+		base := m * pq.Ks
+		mn := table[base]
+		for c := 1; c < rows; c++ {
+			if v := table[base+c]; v < mn {
+				mn = v
+			}
+		}
+		for c := 0; c < rows; c++ {
+			q := int32((table[base+c] - mn) * inv)
+			if q > 255 {
+				q = 255
+			}
+			if q < 0 {
+				q = 0
+			}
+			lut8[base+c] = uint8(q)
+		}
+		for c := rows; c < pq.Ks; c++ {
+			lut8[base+c] = 0
+		}
+	}
+	return bias, delta
+}

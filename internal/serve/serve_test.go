@@ -332,3 +332,31 @@ func TestServeConcurrent(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestServeFastScan runs the full serving stack (shards, coalescer, cache)
+// over a fast-scan model and checks bit-identity with direct lookups.
+func TestServeFastScan(t *testing.T) {
+	g, m := testModel(t)
+	fs, err := m.WithFastScan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv, err := New(fs, Options{Shards: 3, MaxBatch: 4, Window: 200 * time.Microsecond, CacheSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sv.Close()
+	queries := []string{
+		g.Entities[0].Label,
+		g.Entities[5].Label,
+		"no such entity anywhere",
+		g.Entities[0].Label,
+	}
+	for round := 0; round < 2; round++ {
+		for _, q := range queries {
+			want := fs.Lookup(q, 5)
+			got := sv.Lookup(q, 5)
+			sameCandidates(t, fmt.Sprintf("fastscan serve round %d %q", round, q), want, got)
+		}
+	}
+}

@@ -9,6 +9,22 @@ cd "$(dirname "$0")/.."
 echo "== go vet =="
 go vet ./...
 
+# Deeper linters run when present; the container image does not ship them
+# and installing tools is out of scope for the gate, so absence is a skip,
+# not a failure.
+if command -v staticcheck >/dev/null 2>&1; then
+    echo "== staticcheck =="
+    staticcheck ./...
+else
+    echo "== staticcheck == (not installed; skipped)"
+fi
+if command -v govulncheck >/dev/null 2>&1; then
+    echo "== govulncheck =="
+    govulncheck ./...
+else
+    echo "== govulncheck == (not installed; skipped)"
+fi
+
 echo "== go build =="
 go build ./...
 
@@ -20,6 +36,13 @@ go test -race -timeout 60m ./...
 echo "== allocation benchmarks (short) =="
 go test -run '^$' -bench 'BenchmarkPQSearch$|BenchmarkLookupAllocs' \
     -benchmem -benchtime 10x .
+
+echo "== fast-scan kernel benchmark (short) =="
+# The two compressed-scan kernels side by side (plain 8-bit ADC vs 4-bit
+# fast-scan); the full-length numbers are snapshotted into BENCH_lookup.json
+# (scan_pq / scan_fastscan) and diffed by `make bench-compare`.
+go test -run '^$' -bench 'BenchmarkFastScan' \
+    -benchmem -benchtime 100x .
 
 echo "== metrics overhead benchmarks (short) =="
 go test -run '^$' -bench 'BenchmarkMetricsOverhead' \
