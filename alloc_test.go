@@ -8,8 +8,12 @@ package emblookup_test
 // leaks an allocation into the query path.
 
 import (
+	"path/filepath"
 	"testing"
 
+	"emblookup/internal/artifact"
+	"emblookup/internal/core"
+	"emblookup/internal/kg"
 	"emblookup/internal/obs"
 )
 
@@ -19,6 +23,15 @@ import (
 const (
 	maxLookupAllocs = 4
 	maxEmbedAllocs  = 3
+)
+
+// Attach budgets for the zero-copy v4 path: LoadFile on an mmap'd artifact
+// allocates model scaffolding (encoder, section views, the presized
+// known-mention set) — a count that depends on the architecture, never on
+// how many entities the index holds.
+const (
+	maxAttachAllocs  = 512 // measured ≈219 for a PQ model, any entity count
+	attachAllocSlack = 16
 )
 
 func TestLookupAllocsWithMetrics(t *testing.T) {
@@ -66,5 +79,58 @@ func TestLookupAllocsWithMetrics(t *testing.T) {
 		fs.Lookup("Bramonia Ridge", 10)
 	}); n > maxLookupAllocs {
 		t.Errorf("fast-scan Lookup with metrics enabled: %.1f allocs/op, budget %d", n, maxLookupAllocs)
+	}
+}
+
+// TestAttachAllocsSizeIndependent guards the zero-copy promise of the v4
+// artifact format (DESIGN.md §12): attaching a model by mmap allocates a
+// fixed number of objects, not O(model size) — the payloads stay in the
+// page cache. A 300-entity and a 2000-entity model must attach with nearly
+// the same allocation count, and both under a fixed budget.
+func TestAttachAllocsSizeIndependent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("attach guard trains a model; skipped in -short")
+	}
+	if !artifact.Supported() {
+		t.Skip("this host does not write v4 artifacts")
+	}
+	gBig, mBig, _ := model(t)
+
+	gSmall, _ := kg.Generate(kg.DefaultGeneratorConfig(kg.WikidataProfile, 300))
+	cfg := core.FastConfig()
+	cfg.Epochs = 2
+	mSmall, err := core.Train(gSmall, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	bigPath := filepath.Join(dir, "big.v4")
+	smallPath := filepath.Join(dir, "small.v4")
+	if err := mBig.SaveFileWithIndex(bigPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := mSmall.SaveFileWithIndex(smallPath); err != nil {
+		t.Fatal(err)
+	}
+
+	attach := func(path string, g *kg.Graph) float64 {
+		return testing.AllocsPerRun(10, func() {
+			lm, err := core.LoadFile(path, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lm.Close()
+		})
+	}
+	smallN := attach(smallPath, gSmall)
+	bigN := attach(bigPath, gBig)
+	t.Logf("attach allocs: %.0f (300 entities), %.0f (2000 entities)", smallN, bigN)
+	if smallN > maxAttachAllocs || bigN > maxAttachAllocs {
+		t.Errorf("attach allocs %.0f/%.0f exceed budget %d", smallN, bigN, maxAttachAllocs)
+	}
+	if diff := bigN - smallN; diff > attachAllocSlack || diff < -attachAllocSlack {
+		t.Errorf("attach allocations scale with model size: %.0f allocs at 300 entities vs %.0f at 2000 (slack %d)",
+			smallN, bigN, attachAllocSlack)
 	}
 }

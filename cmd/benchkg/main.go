@@ -30,6 +30,14 @@
 // plus a straggler scenario with and without hedged requests:
 //
 //	benchkg -bench-cluster BENCH_cluster.json [-entities 2000]
+//
+// With -bench-scale it measures what the zero-copy v4 artifact format buys
+// as the corpus grows: per entity count, cold attach time and resident
+// memory (v4 mmap vs gob decode, each in a fresh subprocess), recall@1/@10
+// against exact flat search, lookup latency percentiles, and the IVF
+// nprobe recall/latency sweep:
+//
+//	benchkg -bench-scale BENCH_scale.json [-scales 10000,100000,1000000]
 package main
 
 import (
@@ -58,9 +66,24 @@ func main() {
 	benchServePath := flag.String("bench-serve", "", "train a model and write a serving benchmark snapshot to this JSON file")
 	benchBuildPath := flag.String("bench-build", "", "train a model and write an index-construction benchmark snapshot to this JSON file")
 	benchClusterPath := flag.String("bench-cluster", "", "train a model and write a cluster serving benchmark snapshot to this JSON file")
+	benchScalePath := flag.String("bench-scale", "", "write the scaling benchmark snapshot (cold attach, RSS, recall, latency per entity count) to this JSON file")
+	scales := flag.String("scales", "10000,100000", "comma-separated entity counts for -bench-scale")
+	scaleAttach := flag.String("scale-attach", "", "internal: cold-attach the given artifact once and print a JSON probe (used by -bench-scale subprocesses)")
 	clients := flag.Int("clients", 16, "concurrent clients for -bench-serve")
 	flag.Parse()
 
+	if *scaleAttach != "" {
+		if err := scaleAttachMain(*scaleAttach, *entities, *seed); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *benchScalePath != "" {
+		if err := benchScale(*benchScalePath, *scales, *seed); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *benchPath != "" {
 		if err := benchLookup(*benchPath, *entities, *seed); err != nil {
 			log.Fatal(err)

@@ -1,0 +1,27 @@
+//go:build linux
+
+package artifact
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only and shared — the attach path:
+// payload pages are faulted in from the page cache on first touch, never
+// copied into the Go heap. An empty file maps to an empty (heap) slice,
+// since mmap rejects zero-length mappings.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	if size == 0 {
+		return []byte{}, nil
+	}
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmap releases a mapping created by mmapFile.
+func munmap(b []byte) error {
+	if len(b) == 0 {
+		return nil
+	}
+	return syscall.Munmap(b)
+}

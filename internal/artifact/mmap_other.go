@@ -1,0 +1,18 @@
+//go:build !linux
+
+package artifact
+
+import (
+	"fmt"
+	"os"
+)
+
+// errNoMmap makes Open take the aligned-read fallback on platforms where
+// this package does not wire up memory mapping. The artifact still loads —
+// with one copy into the heap and full checksum verification — it just
+// is not zero-copy.
+var errNoMmap = fmt.Errorf("artifact: mmap not supported on this platform")
+
+func mmapFile(_ *os.File, _ int) ([]byte, error) { return nil, errNoMmap }
+
+func munmap(_ []byte) error { return nil }

@@ -3,6 +3,7 @@ package cluster
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -90,7 +91,15 @@ func SavePartitions(dir string, model *core.EmbLookup, p int) (Manifest, error) 
 		return Manifest{}, err
 	}
 	buf = append(buf, '\n')
-	if err := os.WriteFile(filepath.Join(dir, manifestName), buf, 0o644); err != nil {
+	// The manifest lands last and atomically: a crash mid-save leaves either
+	// the previous complete layout or no manifest — never a manifest
+	// pointing at half-written node artifacts (those are atomic themselves,
+	// via core.AtomicWriteFile).
+	err = core.AtomicWriteFile(filepath.Join(dir, manifestName), func(w io.Writer) error {
+		_, werr := w.Write(buf)
+		return werr
+	})
+	if err != nil {
 		return Manifest{}, err
 	}
 	return man, nil

@@ -124,12 +124,14 @@ func TestFastScanPartition(t *testing.T) {
 	}
 }
 
-// TestFastScanSaveLoadRoundTrip asserts the version-3 artifact round-trips
-// bit-identically, and that non-fast-scan models keep writing version 2.
+// TestFastScanSaveLoadRoundTrip asserts the legacy gob version-3 artifact
+// round-trips bit-identically, and that non-fast-scan models keep stamping
+// version 2 (the current default format, v4, is covered in
+// persist4_test.go).
 func TestFastScanSaveLoadRoundTrip(t *testing.T) {
 	g, e, fs := fastScanSibling(t)
 	var buf bytes.Buffer
-	if err := fs.WriteWithIndex(&buf); err != nil {
+	if err := fs.WriteGob(&buf, true); err != nil {
 		t.Fatal(err)
 	}
 	raw := buf.Bytes()
@@ -165,7 +167,7 @@ func TestFastScanSaveLoadRoundTrip(t *testing.T) {
 
 	// Back-compat: a model without fast-scan still writes version 2.
 	buf.Reset()
-	if err := e.WriteWithIndex(&buf); err != nil {
+	if err := e.WriteGob(&buf, true); err != nil {
 		t.Fatal(err)
 	}
 	var wire2 modelWire

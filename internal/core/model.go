@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"emblookup/internal/artifact"
 	"emblookup/internal/charenc"
 	"emblookup/internal/index"
 	"emblookup/internal/kg"
@@ -29,6 +30,23 @@ type EmbLookup struct {
 	rows  []kg.EntityID // index row -> entity (trained prefix, immutable)
 	extra *extraRows    // live-added rows (dynamic index only)
 	prov  IndexProvenance
+
+	// backing is the artifact this model's weights and index alias when it
+	// was attached from a v4 file (nil for trained or gob-loaded models).
+	// Its memory — possibly a read-only mapping — must stay alive as long
+	// as the model serves; Close releases it.
+	backing *artifact.File
+}
+
+// Close releases the artifact backing an attached model (munmap for
+// mmap-attached files). After Close the model must not be used: its weight
+// and index views dangle. Models that own their memory (trained in-process
+// or gob-loaded) have no backing and Close is a no-op.
+func (e *EmbLookup) Close() error {
+	if e.backing == nil {
+		return nil
+	}
+	return e.backing.Close()
 }
 
 // IndexProvenance records how the model's current index came to be: rebuilt
@@ -39,6 +57,10 @@ type EmbLookup struct {
 type IndexProvenance struct {
 	Source string        // "rebuilt" or "loaded"
 	Took   time.Duration // wall-clock of the rebuild or the artifact attach
+	// Backing is how an attached v4 artifact is held: "mmap" (zero-copy
+	// views over the page cache) or "heap" (one private copy). Empty for
+	// trained and gob-loaded models, whose memory is ordinary heap.
+	Backing string `json:",omitempty"`
 }
 
 // IndexProvenance reports the current index's provenance.

@@ -32,15 +32,18 @@ func (e *EmbLookup) WithPartition(lo, hi int) (*EmbLookup, error) {
 	var part index.Index
 	switch t := ix.(type) {
 	case *index.Flat:
+		// The slices are capacity-clipped: a later append (Dynamic
+		// compaction on the partition) reallocates instead of writing into
+		// the parent's rows past hi — or through a read-only mmap backing.
 		m := t.Vectors()
 		part = index.NewFlat(&mathx.Matrix{
 			Rows: hi - lo,
 			Cols: m.Cols,
-			Data: m.Data[lo*m.Cols : hi*m.Cols],
+			Data: m.Data[lo*m.Cols : hi*m.Cols : hi*m.Cols],
 		})
 	case *index.PQ:
 		q := t.Quantizer()
-		p, err := index.NewPQFromParts(q, t.Codes()[lo*q.M:hi*q.M])
+		p, err := index.NewPQFromParts(q, t.Codes()[lo*q.M:hi*q.M:hi*q.M])
 		if err != nil {
 			return nil, err
 		}

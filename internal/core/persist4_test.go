@@ -1,0 +1,238 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+
+	"emblookup/internal/artifact"
+	"emblookup/internal/kg"
+)
+
+// v4Variants drives every index kind through the zero-copy artifact tests.
+// The fixture model is re-indexed in place per variant (cheap: no
+// retraining), mirroring TestIndexArtifactRoundTrip.
+var v4Variants = []struct {
+	name                    string
+	ivf, compress, fastscan bool
+}{
+	{"flat", false, false, false},
+	{"pq", false, true, false},
+	{"fastscan", false, true, true},
+	{"ivf-flat", true, false, false},
+	{"ivf-pq", true, true, false},
+}
+
+func sameLookups(t *testing.T, tag string, want, got *EmbLookup) {
+	t.Helper()
+	g := want.Graph()
+	for i := 0; i < 25; i++ {
+		q := g.Entities[(i*7)%len(g.Entities)].Label
+		w, r := want.Lookup(q, 10), got.Lookup(q, 10)
+		if len(w) != len(r) {
+			t.Fatalf("%s: Lookup(%q): %d candidates, want %d", tag, q, len(r), len(w))
+		}
+		for j := range w {
+			if w[j] != r[j] {
+				t.Fatalf("%s: Lookup(%q) diverges at %d: %+v vs %+v", tag, q, j, r[j], w[j])
+			}
+		}
+	}
+}
+
+// TestV4MmapAttachBitIdentity is the acceptance gate of the v4 format: for
+// every index kind, a model attached zero-copy from an mmap'd artifact and
+// one decoded from the same bytes on the heap both answer bit-identically
+// to the in-process model that wrote them.
+func TestV4MmapAttachBitIdentity(t *testing.T) {
+	g, fixtureM := fixture(t)
+	base := *fixtureM // shallow copy so re-indexing never mutates the shared fixture
+	base.cfg.IVFNProbe = 64
+	for _, v := range v4Variants {
+		base.cfg.IVF, base.cfg.Compress, base.cfg.FastScan = v.ivf, v.compress, v.fastscan
+		if err := base.buildIndex(); err != nil {
+			t.Fatalf("%s: rebuild: %v", v.name, err)
+		}
+		path := t.TempDir() + "/model.v4"
+		if err := base.SaveFileWithIndex(path); err != nil {
+			t.Fatalf("%s: save: %v", v.name, err)
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !artifact.Sniff(raw) {
+			t.Fatalf("%s: SaveFileWithIndex did not write a v4 artifact", v.name)
+		}
+
+		mmapped, err := LoadFile(path, g)
+		if err != nil {
+			t.Fatalf("%s: mmap attach: %v", v.name, err)
+		}
+		prov := mmapped.IndexProvenance()
+		if prov.Source != "loaded" {
+			t.Fatalf("%s: provenance %q, want loaded", v.name, prov.Source)
+		}
+		if runtime.GOOS == "linux" && prov.Backing != "mmap" {
+			t.Fatalf("%s: backing %q, want mmap", v.name, prov.Backing)
+		}
+
+		heap, err := Read(bytes.NewReader(raw), g)
+		if err != nil {
+			t.Fatalf("%s: heap read: %v", v.name, err)
+		}
+		if b := heap.IndexProvenance().Backing; b != "heap" {
+			t.Fatalf("%s: stream read backing %q, want heap", v.name, b)
+		}
+
+		sameLookups(t, v.name+"/mmap", &base, mmapped)
+		sameLookups(t, v.name+"/heap", &base, heap)
+
+		// The gob writer must serialize the same model to the same answers.
+		var gobBuf bytes.Buffer
+		if err := base.WriteGob(&gobBuf, true); err != nil {
+			t.Fatalf("%s: gob write: %v", v.name, err)
+		}
+		fromGob, err := Read(bytes.NewReader(gobBuf.Bytes()), g)
+		if err != nil {
+			t.Fatalf("%s: gob read: %v", v.name, err)
+		}
+		sameLookups(t, v.name+"/gob", &base, fromGob)
+
+		if err := mmapped.Close(); err != nil {
+			t.Fatalf("%s: close: %v", v.name, err)
+		}
+		if err := mmapped.Close(); err != nil {
+			t.Fatalf("%s: double close: %v", v.name, err)
+		}
+		if err := heap.Close(); err != nil {
+			t.Fatalf("%s: heap close: %v", v.name, err)
+		}
+	}
+}
+
+// TestV4WeightsOnly exercises the rebuild path of a v4 file: no index
+// sections, index rebuilt over the graph, backing still recorded.
+func TestV4WeightsOnly(t *testing.T) {
+	g, e := fixture(t)
+	path := t.TempDir() + "/weights.v4"
+	if err := e.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+	prov := loaded.IndexProvenance()
+	if prov.Source != "rebuilt" {
+		t.Fatalf("provenance %q, want rebuilt", prov.Source)
+	}
+	if runtime.GOOS == "linux" && prov.Backing != "mmap" {
+		t.Fatalf("backing %q, want mmap", prov.Backing)
+	}
+	sameLookups(t, "weights-only", e, loaded)
+}
+
+// TestV4DeterministicBytes: two writes of the same model are byte-identical
+// (the artifact is layout-stable; nothing map-ordered leaks into the file).
+func TestV4DeterministicBytes(t *testing.T) {
+	_, e := fixture(t)
+	var a, b bytes.Buffer
+	if err := e.WriteWithIndex(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.WriteWithIndex(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two writes of the same model produced different bytes")
+	}
+}
+
+// TestV4CorruptionRejected: a payload flip fails the load on both paths
+// (Read verifies payload checksums; LoadFile→mmap verifies the table, and
+// a table flip breaks its checksum).
+func TestV4CorruptionRejected(t *testing.T) {
+	g, e := fixture(t)
+	var buf bytes.Buffer
+	if err := e.WriteWithIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Flip one byte in the section table (offset area of section 0).
+	mut := bytes.Clone(raw)
+	mut[64+17] ^= 0xff
+	if _, err := Read(bytes.NewReader(mut), g); err == nil {
+		t.Fatal("corrupted section table accepted by Read")
+	}
+	path := t.TempDir() + "/corrupt.v4"
+	if err := os.WriteFile(path, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path, g); err == nil {
+		t.Fatal("corrupted section table accepted by LoadFile")
+	}
+	// Flip one byte in the last payload: the stream path must catch it.
+	mut = bytes.Clone(raw)
+	mut[len(mut)-1] ^= 0xff
+	if _, err := Read(bytes.NewReader(mut), g); err == nil {
+		t.Fatal("corrupted payload accepted by Read")
+	}
+}
+
+// FuzzReadArtifact hammers the whole model-read dispatch — v4 magic
+// sniffing, the v4 section parser and attach path, and the gob fallback —
+// with arbitrary bytes. Read must return an error or a valid model, never
+// panic, and never allocate proportionally to corrupt header fields.
+func FuzzReadArtifact(f *testing.F) {
+	g, e := fixtureForFuzz()
+	var v4 bytes.Buffer
+	if err := e.WriteWithIndex(&v4); err != nil {
+		f.Fatal(err)
+	}
+	var gobBuf bytes.Buffer
+	if err := e.WriteGob(&gobBuf, true); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v4.Bytes())
+	f.Add(v4.Bytes()[:200])
+	f.Add(gobBuf.Bytes())
+	f.Add(gobBuf.Bytes()[:50])
+	f.Add([]byte(artifact.Magic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Read(bytes.NewReader(data), g)
+		if err != nil {
+			return
+		}
+		// A model that parses must serve a lookup without panicking.
+		_ = m.Lookup(g.Entities[0].Label, 3)
+	})
+}
+
+// fuzz fixture: the tiniest usable model, trained once (fuzz setup runs
+// under *testing.F, so it cannot reuse the t.Helper-based fixture).
+var (
+	fuzzOnce  sync.Once
+	fuzzGraph *kg.Graph
+	fuzzModel *EmbLookup
+)
+
+func fixtureForFuzz() (*kg.Graph, *EmbLookup) {
+	fuzzOnce.Do(func() {
+		g, _ := kg.Generate(kg.DefaultGeneratorConfig(kg.WikidataProfile, 60))
+		cfg := testConfig()
+		cfg.Epochs = 2
+		cfg.TripletsPerEntity = 4
+		cfg.Compress = true
+		e, err := Train(g, cfg)
+		if err != nil {
+			panic(err)
+		}
+		fuzzGraph, fuzzModel = g, e
+	})
+	return fuzzGraph, fuzzModel
+}

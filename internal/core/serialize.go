@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"time"
 
+	"emblookup/internal/artifact"
 	"emblookup/internal/charenc"
 	"emblookup/internal/index"
 	"emblookup/internal/kg"
@@ -184,7 +186,24 @@ func (e *EmbLookup) WriteWithIndex(w io.Writer) error {
 	return e.write(w, true)
 }
 
+// write emits the current format: the sectioned zero-copy v4 artifact
+// (serialize4.go) on every little-endian host, the self-describing gob
+// stream on the big-endian exceptions. Read accepts both.
 func (e *EmbLookup) write(w io.Writer, withIndex bool) error {
+	if artifact.Supported() {
+		return e.writeV4(w, withIndex)
+	}
+	return e.writeGob(w, withIndex)
+}
+
+// WriteGob serializes in the legacy gob format (v2/v3) regardless of host
+// support for v4 — kept exported for the format benchmarks and for
+// generating the back-compat golden corpus.
+func (e *EmbLookup) WriteGob(w io.Writer, withIndex bool) error {
+	return e.writeGob(w, withIndex)
+}
+
+func (e *EmbLookup) writeGob(w io.Writer, withIndex bool) error {
 	// Only fast-scan models need the version-3 format; everything else is
 	// stamped version 2 so builds predating fast-scan still load it.
 	ver := modelFormatVersion
@@ -212,14 +231,30 @@ func (e *EmbLookup) write(w io.Writer, withIndex bool) error {
 	return gob.NewEncoder(w).Encode(wire)
 }
 
-// Read deserializes a model written by Write or WriteWithIndex. When the
+// Read deserializes a model written by Write or WriteWithIndex — either a
+// format-v4 artifact or a gob stream (v0–v3), sniffed by magic. When the
 // file carries an index artifact it is attached directly — cold start
 // becomes an IO-bound load — otherwise the index is rebuilt over g from the
 // stored weights. g must be the graph the model was trained on (or a graph
 // with identical entity numbering); an artifact whose row mapping does not
-// fit g is rejected. Provenance (loaded vs rebuilt, and how long it took)
-// is exposed via IndexProvenance.
+// fit g is rejected. Provenance (loaded vs rebuilt, backing, and how long
+// attaching took) is exposed via IndexProvenance. Reading from a stream
+// copies the artifact into the heap; use LoadFile to attach by mmap.
 func Read(r io.Reader, g *kg.Graph) (*EmbLookup, error) {
+	br := bufio.NewReader(r)
+	if prefix, err := br.Peek(len(artifact.Magic)); err == nil && artifact.Sniff(prefix) {
+		af, err := artifact.ReadFrom(br)
+		if err != nil {
+			return nil, err
+		}
+		return readV4(af, g)
+	}
+	return readGob(br, g)
+}
+
+// readGob deserializes the legacy gob formats (v0 weights-only, v2 index
+// artifact, v3 fast-scan artifact).
+func readGob(r io.Reader, g *kg.Graph) (*EmbLookup, error) {
 	var wire modelWire
 	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
 		return nil, err
@@ -231,7 +266,7 @@ func Read(r io.Reader, g *kg.Graph) (*EmbLookup, error) {
 	rng := mathx.NewRNG(cfg.Seed)
 	e := &EmbLookup{cfg: cfg, graph: g}
 	e.enc = charenc.NewEncoder(charenc.NewAlphabet(wire.Alphabet), cfg.MaxLen)
-	e.sem = ngram.NewModel(wire.NgramCfg[0], wire.NgramCfg[1], 0)
+	e.sem = ngram.NewModelForLoad(wire.NgramCfg[0], wire.NgramCfg[1])
 	e.sem.Table = fromWire(wire.Ngram)
 	e.sem.SetKnownMentionHashes(wire.KnownMentions)
 
@@ -284,30 +319,90 @@ func (e *EmbLookup) SaveFileWithIndex(path string) error {
 }
 
 func (e *EmbLookup) saveFile(path string, withIndex bool) error {
-	f, err := os.Create(path)
+	return AtomicWriteFile(path, func(w io.Writer) error {
+		return e.write(w, withIndex)
+	})
+}
+
+// SaveFileGob writes the model in the legacy gob format — the comparison
+// subject of the format benchmarks and the generator of the golden corpus.
+func (e *EmbLookup) SaveFileGob(path string, withIndex bool) error {
+	return AtomicWriteFile(path, func(w io.Writer) error {
+		return e.writeGob(w, withIndex)
+	})
+}
+
+// AtomicWriteFile writes an artifact through fill into a temp file in
+// path's directory, fsyncs it, and renames it into place — a reader (or a
+// crash) never observes a half-written artifact, and an existing artifact
+// at path survives a failed save untouched.
+func AtomicWriteFile(path string, fill func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
-	bw := bufio.NewWriter(f)
-	if err := e.write(bw, withIndex); err != nil {
+	tmp := f.Name()
+	cleanup := func(err error) error {
 		f.Close()
+		os.Remove(tmp)
 		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	if err := fill(bw); err != nil {
+		return cleanup(err)
 	}
 	if err := bw.Flush(); err != nil {
-		f.Close()
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	// CreateTemp's restrictive 0600 would otherwise stick to the artifact.
+	if err := f.Chmod(0o644); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // LoadFile reads a model saved with SaveFile or SaveFileWithIndex,
 // attaching the saved index when present and rebuilding it over g
-// otherwise.
+// otherwise. A v4 artifact is attached by mmap where supported — the
+// payloads stay in the page cache and load time is independent of model
+// size; call Close on the returned model to release the mapping. Gob files
+// take the decode path unchanged.
 func LoadFile(path string, g *kg.Graph) (*EmbLookup, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
+	var prefix [8]byte
+	n, _ := io.ReadFull(f, prefix[:])
+	if artifact.Sniff(prefix[:n]) {
+		f.Close()
+		af, err := artifact.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		e, err := readV4(af, g)
+		if err != nil {
+			af.Close()
+			return nil, err
+		}
+		return e, nil
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
 	defer f.Close()
-	return Read(bufio.NewReader(f), g)
+	return readGob(bufio.NewReader(f), g)
 }

@@ -469,6 +469,9 @@ func (e *EmbLookup) buildIndex() error {
 			ivfCfg.PQ = &pqCfg
 		}
 		ivfCfg.Workers = e.cfg.Workers
+		// The PQ config's sampling knob governs the coarse k-means too, so
+		// one setting bounds all training cost at million-entity scale.
+		ivfCfg.TrainSample = pqCfg.TrainSample
 		ivf, err := index.NewIVF(m, ivfCfg)
 		if err != nil {
 			return fmt.Errorf("core: building IVF index: %w", err)

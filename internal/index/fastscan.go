@@ -34,6 +34,7 @@ type FastScan struct {
 	pq     *quant.ProductQuantizer // 4-bit: Ks == 16, even M
 	blocks []byte                  // ceil(n/32) blocks × (M/2)×32 bytes, pair-major
 	n      int
+	shared bool // blocks alias memory this index does not own (possibly read-only mmap)
 }
 
 // fsBlock is the number of rows one interleaved block covers. 32 rows ×
@@ -320,6 +321,15 @@ func (ix *FastScan) scanPlain4(table []float32, t *topK) {
 // growing a fresh zero-padded block when the last one is full — how a
 // fast-scan index absorbs Dynamic's delta segment at compaction.
 func (ix *FastScan) appendRow(vec []float32) {
+	// Unlike the other appendRow implementations (pure appends, which Go
+	// turns into a reallocation when the backing is capacity-clipped),
+	// setRow writes *into* the last partial block. On a shared backing —
+	// a zero-copy v4 artifact, possibly a read-only mapping — that write
+	// must hit a private copy, taken once at the first append.
+	if ix.shared {
+		ix.blocks = append([]byte(nil), ix.blocks...)
+		ix.shared = false
+	}
 	if ix.n%fsBlock == 0 {
 		ix.blocks = append(ix.blocks, make([]byte, fsBlockBytes(ix.pq.M))...)
 	}

@@ -21,6 +21,10 @@ type IVFConfig struct {
 	// Workers bounds construction parallelism (≤0 = GOMAXPROCS); the built
 	// index is bit-identical at any worker count.
 	Workers int
+	// TrainSample caps the rows the coarse k-means (and the residual PQ's
+	// sub-quantizers) train on — see quant.KMeansConfig.TrainSample. List
+	// assignment and encoding still cover every row. 0 trains on all rows.
+	TrainSample int
 }
 
 // DefaultIVFConfig sizes the coarse quantizer as ~sqrt(n) lists probing 8.
@@ -62,7 +66,7 @@ func NewIVF(data *mathx.Matrix, cfg IVFConfig) (*IVF, error) {
 		cfg = DefaultIVFConfig(data.Rows)
 		cfg.Workers = workers
 	}
-	cents, assign := quant.KMeans(data, quant.KMeansConfig{K: cfg.NList, MaxIters: cfg.Iters, Seed: cfg.Seed, Workers: cfg.Workers})
+	cents, assign := quant.KMeans(data, quant.KMeansConfig{K: cfg.NList, MaxIters: cfg.Iters, Seed: cfg.Seed, Workers: cfg.Workers, TrainSample: cfg.TrainSample})
 	ix := &IVF{
 		coarse: cents,
 		nprobe: cfg.NProbe,
@@ -95,6 +99,9 @@ func NewIVF(data *mathx.Matrix, cfg IVFConfig) (*IVF, error) {
 	if pqCfg.Workers == 0 {
 		pqCfg.Workers = cfg.Workers
 	}
+	if pqCfg.TrainSample == 0 {
+		pqCfg.TrainSample = cfg.TrainSample
+	}
 	pq, err := quant.TrainPQ(residuals, pqCfg)
 	if err != nil {
 		return nil, err
@@ -110,6 +117,19 @@ func NewIVF(data *mathx.Matrix, cfg IVFConfig) (*IVF, error) {
 		ix.codes[li] = buf
 	})
 	return ix, nil
+}
+
+// SetNProbe adjusts how many coarse lists a query scans, clamped to
+// [1, NList] — the runtime recall/latency knob of the nprobe sweep in
+// BENCH_scale.json. Not safe to call concurrently with Search.
+func (ix *IVF) SetNProbe(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > len(ix.lists) {
+		n = len(ix.lists)
+	}
+	ix.nprobe = n
 }
 
 // Len returns the number of stored vectors.

@@ -54,7 +54,7 @@ func NewFastScanFromParts(q *quant.ProductQuantizer, blocks []byte, n int) (*Fas
 	if n < 0 || len(blocks) != fsBlocksLen(q.M, n) {
 		return nil, fmt.Errorf("index: fast-scan block array length %d for %d rows (want %d)", len(blocks), n, fsBlocksLen(q.M, n))
 	}
-	ix := &FastScan{pq: q, blocks: blocks, n: n}
+	ix := &FastScan{pq: q, blocks: blocks, n: n, shared: true}
 	nib := make([]byte, q.M)
 	rows := (n + fsBlock - 1) / fsBlock * fsBlock
 	for i := 0; i < rows; i++ {

@@ -76,14 +76,21 @@ func Generate(cfg GeneratorConfig) (*Graph, *Schema) {
 		name = "synthetic-dbpedia"
 	}
 	g := NewGraph(name)
+	// Suspend incremental mention indexing for the duration of generation:
+	// AddEntity would grow the map entity by entity only for the final
+	// Reindex to throw that work away and rebuild it presized. At a million
+	// entities the double build dominated the whole generation profile.
+	g.byMention = nil
 	s := buildSchema(g)
 
 	// Type mix loosely mirrors the entity classes the SemTab tables draw
 	// from: places and people dominate, with organizations and works behind.
 	counts := typeCounts(cfg.Entities)
 
+	g.Entities = make([]Entity, 0, cfg.Entities)
+	g.Facts = make([]Fact, 0, cfg.Entities*3)
 	var countries, cities, rivers, people, companies, universities []EntityID
-	usedLabels := make(map[string]EntityID)
+	usedLabels := make(map[string]EntityID, cfg.Entities)
 
 	addEntity := func(label string, t TypeID, translatable bool) EntityID {
 		// Occasionally reuse an existing label on a different type to

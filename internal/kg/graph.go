@@ -158,18 +158,58 @@ func (g *Graph) PropName(id PropID) string {
 }
 
 // Reindex rebuilds the mention and adjacency indexes from the raw slices.
+// It is sized for million-entity graphs: the mention map is presized to the
+// exact mention count (one growth-free build instead of log₂(n) rehashes)
+// and the adjacency lists are laid out CSR-style over two shared backing
+// arrays — a constant number of allocations instead of two per entity.
 func (g *Graph) Reindex() {
-	g.byMention = make(map[string][]EntityID, len(g.Entities)*2)
+	mentions := 0
+	for i := range g.Entities {
+		mentions += 1 + len(g.Entities[i].Aliases)
+	}
+	g.byMention = make(map[string][]EntityID, mentions)
 	for i := range g.Entities {
 		g.indexMentions(EntityID(i))
 	}
-	g.out = make([][]int32, len(g.Entities))
-	g.in = make([][]int32, len(g.Entities))
-	for i, f := range g.Facts {
-		g.out[f.Subject] = append(g.out[f.Subject], int32(i))
+	n := len(g.Entities)
+	g.out = make([][]int32, n)
+	g.in = make([][]int32, n)
+	if len(g.Facts) == 0 {
+		return
+	}
+	// Prefix-sum the degrees, then cursor-fill: fact indexes stay ascending
+	// within each list, exactly as the old append loop produced them.
+	outOff := make([]int, n+1)
+	inOff := make([]int, n+1)
+	for _, f := range g.Facts {
+		outOff[f.Subject+1]++
 		if f.Object != NoEntity {
-			g.in[f.Object] = append(g.in[f.Object], int32(i))
+			inOff[f.Object+1]++
 		}
+	}
+	for i := 0; i < n; i++ {
+		outOff[i+1] += outOff[i]
+		inOff[i+1] += inOff[i]
+	}
+	outBack := make([]int32, outOff[n])
+	inBack := make([]int32, inOff[n])
+	outCur := make([]int, n)
+	inCur := make([]int, n)
+	copy(outCur, outOff[:n])
+	copy(inCur, inOff[:n])
+	for i, f := range g.Facts {
+		outBack[outCur[f.Subject]] = int32(i)
+		outCur[f.Subject]++
+		if f.Object != NoEntity {
+			inBack[inCur[f.Object]] = int32(i)
+			inCur[f.Object]++
+		}
+	}
+	// The per-entity views are capacity-clipped so an append to one list
+	// could never spill into its neighbor's backing.
+	for i := 0; i < n; i++ {
+		g.out[i] = outBack[outOff[i]:outOff[i+1]:outOff[i+1]]
+		g.in[i] = inBack[inOff[i]:inOff[i+1]:inOff[i+1]]
 	}
 }
 

@@ -55,10 +55,18 @@ type Model struct {
 
 // NewModel allocates a model with small random initial vectors.
 func NewModel(dim, buckets int, seed uint64) *Model {
-	m := &Model{Dim: dim, Buckets: buckets, MinN: 3, MaxN: 6, WordWeight: 2, MentionHalf: true,
-		Table: mathx.NewMatrix(buckets, dim)}
+	m := NewModelForLoad(dim, buckets)
+	m.Table = mathx.NewMatrix(buckets, dim)
 	m.Table.FillRandn(mathx.NewRNG(seed), 0.1)
 	return m
+}
+
+// NewModelForLoad allocates a model shell for deserialization: the same
+// defaults as NewModel but no table — the loader attaches the trained one,
+// so initializing (and for zero-copy artifacts, even allocating) a random
+// Buckets×Dim matrix here would be pure cold-start waste.
+func NewModelForLoad(dim, buckets int) *Model {
+	return &Model{Dim: dim, Buckets: buckets, MinN: 3, MaxN: 6, WordWeight: 2, MentionHalf: true}
 }
 
 // fnv1a hashes s into a bucket index.

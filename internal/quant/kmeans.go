@@ -19,6 +19,13 @@ type KMeansConfig struct {
 	// floating-point reductions run over a fixed partition of the rows and
 	// merge in partition order, so only wall-clock time depends on Workers.
 	Workers int
+	// TrainSample, when positive and smaller than the row count, trains the
+	// centroids on a deterministic evenly-strided sample of that many rows
+	// and then runs one exact assignment pass over all rows — the standard
+	// large-corpus k-means shortcut (training cost stops scaling with n; the
+	// assignment stays exact). 0 trains on every row, bit-identical to
+	// builds predating this knob.
+	TrainSample int
 }
 
 // kmeansParts is the fixed number of row partitions every parallel reduction
@@ -80,6 +87,20 @@ func KMeans(data *mathx.Matrix, cfg KMeansConfig) (*mathx.Matrix, []int) {
 	centroids := mathx.NewMatrix(k, d)
 	assign := make([]int, n)
 	if n == 0 {
+		return centroids, assign
+	}
+	if cfg.TrainSample > 0 && cfg.TrainSample < n {
+		// Train on an evenly-strided sample (deterministic: no RNG draw
+		// decides membership), then assign every row exactly once.
+		sub := mathx.NewMatrix(cfg.TrainSample, d)
+		for i := 0; i < cfg.TrainSample; i++ {
+			copy(sub.Row(i), data.Row(i*n/cfg.TrainSample))
+		}
+		subCfg := cfg
+		subCfg.TrainSample = 0
+		centroids, _ = KMeans(sub, subCfg)
+		st := newKMeansState(n, k, d, cfg.Workers)
+		assignStep(data, centroids, assign, st)
 		return centroids, assign
 	}
 	st := newKMeansState(n, k, d, cfg.Workers)

@@ -30,6 +30,10 @@ type PQConfig struct {
 	// concurrently; each inherits KMeans's worker-count-invariant
 	// reductions, so the codebooks are bit-identical at any Workers.
 	Workers int
+	// TrainSample caps the rows each sub-quantizer's k-means trains on
+	// (see quant.KMeansConfig.TrainSample); encoding still covers every
+	// row. 0 trains on all rows.
+	TrainSample int
 }
 
 // DefaultPQConfig returns the paper's 8-byte configuration.
@@ -63,7 +67,7 @@ func TrainPQ(data *mathx.Matrix, cfg PQConfig) (*ProductQuantizer, error) {
 		for i := 0; i < data.Rows; i++ {
 			copy(sub.Row(i), data.Row(i)[m*pq.Dsub:(m+1)*pq.Dsub])
 		}
-		cents, _ := KMeans(sub, KMeansConfig{K: cfg.Ks, MaxIters: cfg.Iters, Seed: cfg.Seed + uint64(m), Workers: inner})
+		cents, _ := KMeans(sub, KMeansConfig{K: cfg.Ks, MaxIters: cfg.Iters, Seed: cfg.Seed + uint64(m), Workers: inner, TrainSample: cfg.TrainSample})
 		pq.Codebooks[m] = cents
 	})
 	return pq, nil

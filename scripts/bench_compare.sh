@@ -1,10 +1,16 @@
 #!/usr/bin/env bash
 # bench_compare.sh — regenerate the benchmark snapshots into a scratch
 # directory and diff them against the committed BENCH_lookup.json /
-# BENCH_serve.json / BENCH_build.json / BENCH_cluster.json with
-# cmd/benchcompare. Exits non-zero
+# BENCH_serve.json / BENCH_build.json / BENCH_cluster.json /
+# BENCH_scale.json with cmd/benchcompare. Exits non-zero
 # when any timing metric regressed by more than 20%. `make bench-compare`
 # runs this.
+#
+# The build and scale snapshots regenerate at 100k entities (the committed
+# BENCH_scale.json additionally carries a 1M row; rows missing from the
+# fresh run are skipped by the diff, so the million-entity measurement is
+# refreshed only by an explicit `benchkg -bench-scale BENCH_scale.json
+# -scales 10000,100000,1000000`).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,8 +20,9 @@ trap 'rm -rf "$tmp"' EXIT
 echo "== regenerating snapshots =="
 go run ./cmd/benchkg -bench-lookup "$tmp/BENCH_lookup.json"
 go run ./cmd/benchkg -bench-serve "$tmp/BENCH_serve.json"
-go run ./cmd/benchkg -bench-build "$tmp/BENCH_build.json"
+go run ./cmd/benchkg -bench-build "$tmp/BENCH_build.json" -entities 100000
 go run ./cmd/benchkg -bench-cluster "$tmp/BENCH_cluster.json"
+go run ./cmd/benchkg -bench-scale "$tmp/BENCH_scale.json" -scales 10000,100000
 
 echo "== lookup snapshot vs committed =="
 go run ./cmd/benchcompare BENCH_lookup.json "$tmp/BENCH_lookup.json"
@@ -28,5 +35,8 @@ go run ./cmd/benchcompare BENCH_build.json "$tmp/BENCH_build.json"
 
 echo "== cluster snapshot vs committed =="
 go run ./cmd/benchcompare BENCH_cluster.json "$tmp/BENCH_cluster.json"
+
+echo "== scale snapshot vs committed =="
+go run ./cmd/benchcompare BENCH_scale.json "$tmp/BENCH_scale.json"
 
 echo "bench-compare: OK"

@@ -33,6 +33,14 @@ echo "== go test -race =="
 # give it room beyond the default 10m package timeout.
 go test -race -timeout 60m ./...
 
+echo "== artifact parser fuzz (short) =="
+# 10 seconds of coverage-guided input on the v4 section parser and the
+# model-read dispatch (v4 magic sniffing plus the gob fallback). The
+# checked-in corpora under testdata/ always run as part of go test; this
+# adds a short exploration pass so new parser bugs surface pre-merge.
+go test -run '^$' -fuzz FuzzParse -fuzztime 10s ./internal/artifact
+go test -run '^$' -fuzz FuzzReadArtifact -fuzztime 10s ./internal/core
+
 echo "== allocation benchmarks (short) =="
 go test -run '^$' -bench 'BenchmarkPQSearch$|BenchmarkLookupAllocs' \
     -benchmem -benchtime 10x .
