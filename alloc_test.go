@@ -14,6 +14,7 @@ import (
 	"emblookup/internal/artifact"
 	"emblookup/internal/core"
 	"emblookup/internal/kg"
+	"emblookup/internal/ngram"
 	"emblookup/internal/obs"
 )
 
@@ -26,13 +27,19 @@ const (
 )
 
 // Attach budgets for the zero-copy v4 path: LoadFile on an mmap'd artifact
-// allocates model scaffolding (encoder, section views, the presized
-// known-mention set) — a count that depends on the architecture, never on
-// how many entities the index holds.
+// allocates model scaffolding (encoder, section views, and the
+// known-mention view — a binary-searched window onto the sorted on-disk
+// section, no per-mention set rebuild) — a count that depends on the
+// architecture, never on how many entities the index holds.
 const (
-	maxAttachAllocs  = 512 // measured ≈219 for a PQ model, any entity count
+	maxAttachAllocs  = 512 // measured 215 for a PQ model, any entity count
 	attachAllocSlack = 16
 )
+
+// epochAllocSlack bounds how much the total allocation count of one
+// ngram.Model.Train call may grow when the epoch count quadruples — the
+// reused trainScratch means extra epochs of the loop itself are free.
+const epochAllocSlack = 8
 
 func TestLookupAllocsWithMetrics(t *testing.T) {
 	if testing.Short() {
@@ -79,6 +86,41 @@ func TestLookupAllocsWithMetrics(t *testing.T) {
 		fs.Lookup("Bramonia Ridge", 10)
 	}); n > maxLookupAllocs {
 		t.Errorf("fast-scan Lookup with metrics enabled: %.1f allocs/op, budget %d", n, maxLookupAllocs)
+	}
+}
+
+// TestNgramEpochLoopAllocFree guards the reused per-step training scratch
+// of the semantic phase: once feature extraction is memoized (first epoch)
+// every further epoch of the sequential loop runs out of one trainScratch,
+// so the total allocation count of a Train call is independent of the
+// epoch count.
+func TestNgramEpochLoopAllocFree(t *testing.T) {
+	m := ngram.NewModel(32, 1<<12, 7)
+	pairs := []ngram.Pair{
+		{Label: "alpha station", Synonym: "alpha stn"},
+		{Label: "borel ridge", Synonym: "borel mountain ridge"},
+		{Label: "cassiopeia relay", Synonym: "cassiopeia relay node"},
+		{Label: "delta works", Synonym: "deltaworks"},
+		{Label: "erebus gate", Synonym: "gate of erebus"},
+		{Label: "fornax hub", Synonym: "fornax central hub"},
+	}
+	negatives := make([]string, 0, len(pairs))
+	for _, p := range pairs {
+		negatives = append(negatives, p.Label)
+	}
+	cfgAt := func(epochs int) ngram.TrainConfig {
+		cfg := ngram.DefaultTrainConfig()
+		cfg.Epochs = epochs
+		return cfg
+	}
+	// One warm-up run registers the mentions in the model's known set so
+	// both measurements see identical model state.
+	m.Train(pairs, negatives, cfgAt(1))
+	a1 := testing.AllocsPerRun(10, func() { m.Train(pairs, negatives, cfgAt(1)) })
+	a4 := testing.AllocsPerRun(10, func() { m.Train(pairs, negatives, cfgAt(4)) })
+	t.Logf("ngram Train allocs: %.1f at 1 epoch, %.1f at 4 epochs", a1, a4)
+	if diff := a4 - a1; diff > epochAllocSlack {
+		t.Errorf("epoch loop allocates: %.1f allocs at 1 epoch vs %.1f at 4 (slack %d)", a1, a4, epochAllocSlack)
 	}
 }
 

@@ -368,6 +368,65 @@ func BenchmarkTrain(b *testing.B) {
 	}
 }
 
+// BenchmarkTrainEpoch compares the two combiner/semantic training modes at
+// a fixed small scale: the deterministic sequential path vs hogwild at
+// 1/2/4 workers (DESIGN.md §13). On a single-core machine the hw variants
+// measure goroutine overhead, not speedup — `make bench-compare` does not
+// gate them there.
+func BenchmarkTrainEpoch(b *testing.B) {
+	g, _ := kg.Generate(kg.DefaultGeneratorConfig(kg.WikidataProfile, 300))
+	base := core.FastConfig()
+	base.Epochs = 2
+	base.TripletsPerEntity = 8
+	for _, bc := range []struct {
+		name    string
+		hogwild bool
+		workers int
+	}{{"det", false, 0}, {"hw1", true, 1}, {"hw2", true, 2}, {"hw4", true, 4}} {
+		b.Run(bc.name, func(b *testing.B) {
+			cfg := base
+			cfg.Hogwild = bc.hogwild
+			cfg.Workers = bc.workers
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Train(g, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkIngest measures the streaming-ingest loop end to end: enqueue a
+// new entity, then the worker embeds it and appends to the dynamic delta
+// index. The final Flush keeps the apply cost inside the timed region.
+func BenchmarkIngest(b *testing.B) {
+	g, _ := kg.Generate(kg.DefaultGeneratorConfig(kg.WikidataProfile, 300))
+	cfg := core.FastConfig()
+	cfg.Epochs = 2
+	cfg.TripletsPerEntity = 8
+	m, err := core.Train(g, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dyn := m.WithDynamicIndex(1 << 30)
+	in, err := dyn.NewIngestor(1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer in.Close()
+	labels := make([]string, 512)
+	for i := range labels {
+		labels[i] = "ingest bench entity " + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := in.Enqueue(core.IngestItem{NewEntity: true, Label: labels[i%len(labels)]}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	in.Flush()
+}
+
 func BenchmarkNoiseInjection(b *testing.B) {
 	g, s := kg.Generate(kg.DefaultGeneratorConfig(kg.WikidataProfile, 500))
 	ds := tabular.GenerateDataset(g, s, tabular.DefaultDatasetConfig(tabular.STWikidata, 20))

@@ -10,6 +10,7 @@ import (
 	"emblookup/internal/index"
 	"emblookup/internal/kg"
 	"emblookup/internal/mathx"
+	"emblookup/internal/obs"
 	"emblookup/internal/quant"
 )
 
@@ -57,7 +58,8 @@ func benchBuild(path string, entities int, seed uint64) error {
 	cfg := core.FastConfig()
 	cfg.Epochs = 4
 	cfg.PQ.TrainSample = trainSample
-	m, err := core.Train(tg, cfg)
+	var detSt core.TrainStats
+	m, err := core.Train(tg, cfg, core.WithTrainStats(&detSt))
 	if err != nil {
 		return fmt.Errorf("training: %w", err)
 	}
@@ -84,6 +86,28 @@ func benchBuild(path string, entities int, seed uint64) error {
 	add := func(name string, metrics map[string]float64) {
 		snap.Results = append(snap.Results, benchResult{Name: name, Metrics: metrics})
 	}
+
+	// Phase 0: training, deterministic vs hogwild at 1/2/4 workers. One run
+	// per mode — each is seconds of wall clock — with per-phase durations
+	// taken from core.TrainStats instead of re-timing the call. The env
+	// block records NumCPU/GOMAXPROCS, so a single-core snapshot is
+	// self-describing (and benchcompare skips gating hw*_us there).
+	trainSem := map[string]float64{"det_us": float64(detSt.SemanticDur.Microseconds())}
+	trainComb := map[string]float64{"det_us": float64(detSt.CombinerDur.Microseconds())}
+	for _, w := range []int{1, 2, 4} {
+		hwCfg := cfg
+		hwCfg.Hogwild = true
+		hwCfg.Workers = w
+		var st core.TrainStats
+		if _, err := core.Train(tg, hwCfg, core.WithTrainStats(&st)); err != nil {
+			return fmt.Errorf("hogwild training (%d workers): %w", w, err)
+		}
+		key := fmt.Sprintf("hw%d_us", w)
+		trainSem[key] = float64(st.SemanticDur.Microseconds())
+		trainComb[key] = float64(st.CombinerDur.Microseconds())
+	}
+	add("train_semantic", trainSem)
+	add("train_combiner", trainComb)
 
 	// Phase 1: embedding every entity (always parallel in buildIndex).
 	var data *mathx.Matrix
@@ -191,6 +215,33 @@ func benchBuild(path string, entities int, seed uint64) error {
 		"load_us":            loadUs,
 		"rebuild_us":         rebuildUs,
 		"cold_start_speedup": rebuildUs / loadUs,
+	})
+
+	// Phase 6: streaming ingest — burst new entities into a dynamic clone
+	// and snapshot the enqueue→visible lag distribution from the obs
+	// histogram. Lag metrics are nanoseconds on purpose: benchcompare gates
+	// only *_us / ns_per_op timings, and single-item queue lag is scheduler
+	// noise, not a regression signal.
+	dyn := m.WithDynamicIndex(0)
+	ing, err := dyn.NewIngestor(256)
+	if err != nil {
+		return err
+	}
+	const ingestN = 64
+	for i := 0; i < ingestN; i++ {
+		if err := ing.Enqueue(core.IngestItem{NewEntity: true, Label: fmt.Sprintf("benchbuild ingest entity %03d", i)}); err != nil {
+			return err
+		}
+	}
+	ing.Flush()
+	ist := ing.Stats()
+	ing.Close()
+	lag := obs.Default().Histogram("emblookup_ingest_lag_seconds").Snapshot()
+	add("obs_ingest", map[string]float64{
+		"applied":    float64(ist.Applied),
+		"failed":     float64(ist.Failed),
+		"lag_p50_ns": float64(lag.Quantile(0.50)),
+		"lag_p99_ns": float64(lag.Quantile(0.99)),
 	})
 
 	return writeSnapshot(path, snap)

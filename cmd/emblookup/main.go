@@ -217,6 +217,8 @@ func cmdServe(args []string) {
 	clusterN := fs.Int("cluster", 0, "run an in-process demo cluster with N partition nodes behind a router")
 	metricsOn := fs.Bool("metrics", true, "record metrics and expose them at GET /metrics (false disables all recording)")
 	slowMs := fs.Int("slowlog-ms", 100, "log queries slower than this many ms at GET /debug/slowlog (0 disables)")
+	dynamic := fs.Bool("dynamic", false, "live ingest mode: mutable index + POST /ingest (bypasses the serving substrate, whose caches assume an immutable index)")
+	ingestQueue := fs.Int("ingest-queue", 256, "ingest queue depth in -dynamic mode (Enqueue blocks when full)")
 	fs.Parse(args)
 
 	g, err := kg.LoadFile(*graphPath)
@@ -235,17 +237,34 @@ func cmdServe(args []string) {
 		serveCluster(g, model, *addr, *clusterN, *metricsOn, sl)
 		return
 	}
-	sv, err := serve.New(model, serve.Options{
-		Shards:    *shards,
-		MaxBatch:  *batch,
-		Window:    *batchWindow,
-		CacheSize: *cacheSize,
-	})
-	if err != nil {
-		log.Fatalf("serving substrate: %v", err)
+	var opts []server.Option
+	if *dynamic {
+		// Live ingest: the mention cache and fixed shard ranges of the
+		// serving substrate assume an immutable index, so dynamic mode
+		// serves straight from the model (which is still concurrency-safe
+		// and allocation-disciplined) and mounts POST /ingest.
+		model = model.WithDynamicIndex(0)
+		ing, err := model.NewIngestor(*ingestQueue)
+		if err != nil {
+			log.Fatalf("starting ingest: %v", err)
+		}
+		defer ing.Close()
+		opts = append(opts, server.WithIngest(ing))
+		log.Printf("dynamic mode: POST /ingest mounted (queue %d), serving substrate bypassed", *ingestQueue)
+	} else {
+		sv, err := serve.New(model, serve.Options{
+			Shards:    *shards,
+			MaxBatch:  *batch,
+			Window:    *batchWindow,
+			CacheSize: *cacheSize,
+		})
+		if err != nil {
+			log.Fatalf("serving substrate: %v", err)
+		}
+		defer sv.Close()
+		opts = append(opts, server.WithServe(sv))
+		log.Printf("serving substrate: %d scan shards", sv.Stats().Shards)
 	}
-	defer sv.Close()
-	opts := []server.Option{server.WithServe(sv)}
 	if *pprofOn {
 		opts = append(opts, server.WithPprof())
 		log.Printf("pprof enabled at /debug/pprof/")
@@ -256,9 +275,7 @@ func cmdServe(args []string) {
 	if sl != nil {
 		opts = append(opts, server.WithSlowLog(sl))
 	}
-	st := sv.Stats()
-	log.Printf("serving lookups on %s (graph: %s, %d entities, %d scan shards)",
-		*addr, g.Name, len(g.Entities), st.Shards)
+	log.Printf("serving lookups on %s (graph: %s, %d entities)", *addr, g.Name, len(g.Entities))
 	log.Fatal(server.NewHTTPServer(*addr, server.New(g, model, opts...).Handler()).ListenAndServe())
 }
 
@@ -294,6 +311,8 @@ func cmdTrain(args []string) {
 	fastScan := fs.Bool("fastscan", false, "build the compressed index as the 4-bit fast-scan variant (requires -compress)")
 	saveIndex := fs.Bool("save-index", true, "embed the built index in the model file (IO-bound cold starts)")
 	paper := fs.Bool("paper", false, "use the full paper configuration (100 epochs, 100 triplets/entity)")
+	workers := fs.Int("workers", 0, "training/indexing worker count (0 = GOMAXPROCS)")
+	hogwild := fs.Bool("hogwild", false, "lock-free parallel SGD for both training phases (faster on multi-core, non-deterministic)")
 	fs.Parse(args)
 
 	g, err := kg.LoadFile(*graphPath)
@@ -311,14 +330,23 @@ func cmdTrain(args []string) {
 	}
 	cfg.Compress = *compress
 	cfg.FastScan = *fastScan
+	cfg.Workers = *workers
+	cfg.Hogwild = *hogwild
 
 	start := time.Now()
-	model, err := core.Train(g, cfg, core.WithLogf(log.Printf))
+	var stats core.TrainStats
+	model, err := core.Train(g, cfg, core.WithLogf(log.Printf), core.WithTrainStats(&stats))
 	if err != nil {
 		log.Fatalf("training: %v", err)
 	}
-	log.Printf("trained in %v; index %d rows, %d payload bytes",
-		time.Since(start).Round(time.Millisecond), model.Index().Len(), model.Index().SizeBytes())
+	mode := "deterministic"
+	if cfg.Hogwild {
+		mode = "hogwild"
+	}
+	log.Printf("trained in %v (%s: semantic %v, combiner %v); index %d rows, %d payload bytes",
+		time.Since(start).Round(time.Millisecond), mode,
+		stats.SemanticDur.Round(time.Millisecond), stats.CombinerDur.Round(time.Millisecond),
+		model.Index().Len(), model.Index().SizeBytes())
 	if *saveIndex {
 		err = model.SaveFileWithIndex(*out)
 	} else {

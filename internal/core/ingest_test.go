@@ -1,0 +1,179 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"emblookup/internal/kg"
+)
+
+var (
+	ingestOnce sync.Once
+	ingestG    *kg.Graph
+	ingestE    *EmbLookup
+)
+
+// ingestFixture trains one private small service shared by the ingest tests
+// (the package-wide fixture's graph must not be mutated — ingest grows its
+// graph) and hands each test its own dynamic clone. The graph accumulates
+// entities across tests, which is fine: every assertion below is relative
+// to the state at its own call.
+func ingestFixture(t *testing.T) (*kg.Graph, *EmbLookup) {
+	t.Helper()
+	ingestOnce.Do(func() {
+		g, _ := kg.Generate(kg.DefaultGeneratorConfig(kg.WikidataProfile, 100))
+		cfg := testConfig()
+		cfg.Epochs = 2
+		cfg.NgramEpochs = 3
+		cfg.TripletsPerEntity = 6
+		e, err := Train(g, cfg)
+		if err != nil {
+			panic(err)
+		}
+		ingestG, ingestE = g, e
+	})
+	return ingestG, ingestE.WithDynamicIndex(1 << 30)
+}
+
+func TestIngestRequiresDynamicIndex(t *testing.T) {
+	_, e := fixture(t)
+	if _, err := e.NewIngestor(0); err == nil {
+		t.Fatal("NewIngestor on a non-dynamic service should fail")
+	}
+}
+
+// TestIngestNewEntityVisible is the end-to-end loop of DESIGN.md §13: a new
+// entity streams in under no retraining and becomes the top hit for its
+// label; an alias attaches to an existing entity.
+func TestIngestNewEntityVisible(t *testing.T) {
+	g, dyn := ingestFixture(t)
+	in, err := dyn.NewIngestor(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+
+	const label = "vexatron prime hub"
+	const alias = "qworble annex station"
+	target := g.Entities[3].ID
+	if err := in.Enqueue(IngestItem{NewEntity: true, Label: label, Aliases: []string{"vexatron"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Enqueue(IngestItem{Mention: alias, ID: target}); err != nil {
+		t.Fatal(err)
+	}
+	in.Flush()
+
+	st := in.Stats()
+	if st.Applied != 2 || st.Failed != 0 {
+		t.Fatalf("stats after flush: %+v", st)
+	}
+	newID := kg.EntityID(len(g.Entities) - 1)
+	if got := g.Entity(newID); got == nil || got.Label != label {
+		t.Fatalf("graph entity %d = %+v, want label %q", newID, got, label)
+	}
+	if cs := dyn.Lookup(label, 1); len(cs) == 0 || cs[0].ID != newID {
+		t.Fatalf("Lookup(%q) = %+v, want new entity %d", label, cs, newID)
+	}
+	if cs := dyn.Lookup(alias, 1); len(cs) == 0 || cs[0].ID != target {
+		t.Fatalf("Lookup(%q) = %+v, want entity %d", alias, cs, target)
+	}
+}
+
+func TestIngestErrorsCounted(t *testing.T) {
+	g, dyn := ingestFixture(t)
+	in, err := dyn.NewIngestor(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	bad := kg.EntityID(len(g.Entities) + 1000)
+	if err := in.Enqueue(IngestItem{Mention: "whatever", ID: bad}); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Enqueue(IngestItem{NewEntity: true}); err != nil {
+		t.Fatal(err)
+	}
+	in.Flush()
+	st := in.Stats()
+	if st.Failed != 2 || st.Applied != 0 || st.LastErr == "" {
+		t.Fatalf("stats = %+v, want 2 failures with a recorded error", st)
+	}
+}
+
+// TestIngestConcurrentWithLookups streams new entities while reader
+// goroutines hammer Lookup and resolve IDs against the graph under the
+// ingestor's read lock — under `go test -race` this pins the locking
+// contract for live traffic during ingest.
+func TestIngestConcurrentWithLookups(t *testing.T) {
+	g, dyn := ingestFixture(t)
+	in, err := dyn.NewIngestor(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 24
+	stop := make(chan struct{})
+	// Labels are captured before ingest starts: the Entities slice itself
+	// is only safe to touch under the ingestor's read lock once the worker
+	// is appending to it.
+	seedLabels := []string{g.Entities[0].Label, g.Entities[1].Label, g.Entities[2].Label}
+	var readers sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			queries := []string{"zug", seedLabels[r], "vortalix 7"}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				cs := dyn.Lookup(queries[i%len(queries)], 3)
+				in.RLock()
+				for _, c := range cs {
+					if g.Entity(c.ID) == nil {
+						panic("candidate resolves to no entity")
+					}
+				}
+				in.RUnlock()
+			}
+		}(r)
+	}
+	for i := 0; i < n; i++ {
+		if err := in.Enqueue(IngestItem{NewEntity: true, Label: fmt.Sprintf("vortalix station %02d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	in.Flush()
+	close(stop)
+	readers.Wait()
+	in.Close()
+
+	st := in.Stats()
+	if st.Applied != n || st.Failed != 0 {
+		t.Fatalf("stats = %+v, want %d applied", st, n)
+	}
+	for i := 0; i < n; i++ {
+		label := fmt.Sprintf("vortalix station %02d", i)
+		if cs := dyn.Lookup(label, 1); len(cs) == 0 || g.Entity(cs[0].ID) == nil || g.Entity(cs[0].ID).Label != label {
+			t.Fatalf("ingested entity %q not resolvable after flush", label)
+		}
+	}
+}
+
+func TestIngestCloseSemantics(t *testing.T) {
+	_, dyn := ingestFixture(t)
+	in, err := dyn.NewIngestor(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Close()
+	in.Close() // idempotent
+	if err := in.Enqueue(IngestItem{Mention: "x", ID: 0}); err == nil {
+		t.Fatal("Enqueue after Close should fail")
+	}
+	in.Flush() // must not hang
+}

@@ -32,9 +32,24 @@ func WithTriplets(ts []triplet.Triplet) TrainOption {
 	return func(s *trainState) { s.triplets = ts }
 }
 
+// TrainStats reports phase timings and the final combiner loss of one Train
+// run — benchkg uses it for the per-phase train rows, and the convergence
+// test compares FinalLoss across modes.
+type TrainStats struct {
+	SemanticDur time.Duration // synonym-pair (ngram) phase
+	CombinerDur time.Duration // triplet/combiner phase
+	FinalLoss   float64       // mean triplet loss of the last epoch run
+}
+
+// WithTrainStats fills st with phase timings and the final loss.
+func WithTrainStats(st *TrainStats) TrainOption {
+	return func(s *trainState) { s.stats = st }
+}
+
 type trainState struct {
 	logf     func(format string, args ...any)
 	triplets []triplet.Triplet
+	stats    *TrainStats
 }
 
 // Train builds an EmbLookup service for g following Section III end to end:
@@ -73,7 +88,18 @@ func Train(g *kg.Graph, cfg Config, opts ...TrainOption) (*EmbLookup, error) {
 	ngCfg := ngram.DefaultTrainConfig()
 	ngCfg.Epochs = cfg.NgramEpochs
 	ngCfg.Seed = rng.Uint64()
+	if cfg.Hogwild {
+		ngCfg.Deterministic = false
+		ngCfg.Workers = cfg.Workers
+		ngCfg.OnProgress = func(done, total int64) {
+			trainSemProgress.Set(float64(done))
+		}
+	}
+	semStart := time.Now()
 	sem.Train(pairs, triplet.Labels(g), ngCfg)
+	if st.stats != nil {
+		st.stats.SemanticDur = time.Since(semStart)
+	}
 	st.logf("core: semantic model trained on %d synonym pairs", len(pairs))
 
 	// Syntactic path + combiner. The semantic path contributes the subword
@@ -109,7 +135,12 @@ func Train(g *kg.Graph, cfg Config, opts ...TrainOption) (*EmbLookup, error) {
 	st.logf("core: %d training triplets", len(ts))
 
 	if cfg.Epochs > 0 && len(ts) > 0 {
-		e.train(ts, cfg, rng, st.logf)
+		combStart := time.Now()
+		finalLoss := e.train(ts, cfg, rng, st.logf)
+		if st.stats != nil {
+			st.stats.CombinerDur = time.Since(combStart)
+			st.stats.FinalLoss = finalLoss
+		}
 	}
 
 	if err := e.buildIndex(); err != nil {
@@ -266,8 +297,13 @@ func (e *EmbLookup) masterParams() []*nn.Param {
 }
 
 // train runs the two-phase schedule: offline epochs over all triplets, then
-// online epochs over the semi-hard/hard subset re-selected each epoch.
-func (e *EmbLookup) train(ts []triplet.Triplet, cfg Config, rng *mathx.RNG, logf func(string, ...any)) {
+// online epochs over the semi-hard/hard subset re-selected each epoch. It
+// returns the mean loss of the last epoch run. The per-batch loop comes in
+// two flavors: the deterministic replica path (shared weights, private
+// gradients, MergeGrads barrier, one Adam) and the hogwild path
+// (cfg.Hogwild: detached per-worker weights, per-worker HogwildAdam pushing
+// CAS deltas straight onto the master — no barrier inside an epoch).
+func (e *EmbLookup) train(ts []triplet.Triplet, cfg Config, rng *mathx.RNG, logf func(string, ...any)) float64 {
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -276,51 +312,30 @@ func (e *EmbLookup) train(ts []triplet.Triplet, cfg Config, rng *mathx.RNG, logf
 		workers = 1
 	}
 	master := e.masterParams()
-	opt := nn.NewAdam(cfg.LR, master)
-	ws := make([]*trainWorker, workers)
-	for i := range ws {
-		ws[i] = e.newWorker(cfg.Seed ^ (uint64(i+1) * 0x9e3779b97f4a7c15))
+
+	var runEpoch func(active []triplet.Triplet, order []int) float64
+	if cfg.Hogwild {
+		hws := make([]*hogwildWorker, workers)
+		for i := range hws {
+			hws[i] = e.newHogwildWorker(cfg, master, cfg.Seed^(uint64(i+1)*0x9e3779b97f4a7c15))
+		}
+		runEpoch = func(active []triplet.Triplet, order []int) float64 {
+			return e.runEpochHogwild(hws, active, order, cfg, rng)
+		}
+	} else {
+		opt := nn.NewAdam(cfg.LR, master)
+		ws := make([]*trainWorker, workers)
+		for i := range ws {
+			ws[i] = e.newWorker(cfg.Seed ^ (uint64(i+1) * 0x9e3779b97f4a7c15))
+		}
+		runEpoch = func(active []triplet.Triplet, order []int) float64 {
+			return e.runEpochReplica(ws, master, opt, active, order, cfg, rng)
+		}
 	}
 
 	offline := cfg.Epochs / 2
 	order := make([]int, len(ts))
-	for i := range order {
-		order[i] = i
-	}
-
-	runEpoch := func(active []triplet.Triplet) float64 {
-		rng.ShuffleInts(order[:len(active)])
-		var epochLoss float64
-		for start := 0; start < len(active); start += cfg.BatchSize {
-			end := start + cfg.BatchSize
-			if end > len(active) {
-				end = len(active)
-			}
-			batch := order[start:end]
-			var wg sync.WaitGroup
-			losses := make([]float32, len(ws))
-			for wi := range ws {
-				wg.Add(1)
-				go func(wi int) {
-					defer wg.Done()
-					w := ws[wi]
-					var sum float32
-					for bi := wi; bi < len(batch); bi += len(ws) {
-						sum += w.step(active[batch[bi]], cfg.Margin)
-					}
-					losses[wi] = sum
-				}(wi)
-			}
-			wg.Wait()
-			for wi := range ws {
-				nn.MergeGrads(master, ws[wi].params)
-				epochLoss += float64(losses[wi])
-			}
-			opt.Step(1 / float32(len(batch)))
-		}
-		return epochLoss / float64(len(active))
-	}
-
+	var lastLoss float64
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		active := ts
 		phase := "offline"
@@ -344,9 +359,128 @@ func (e *EmbLookup) train(ts []triplet.Triplet, cfg Config, rng *mathx.RNG, logf
 		for i := 0; i < len(active); i++ {
 			order[i] = i
 		}
-		loss := runEpoch(active)
-		logf("core: epoch %d (%s): %d triplets, mean loss %.4f", epoch, phase, len(active), loss)
+		lastLoss = runEpoch(active, order)
+		logf("core: epoch %d (%s): %d triplets, mean loss %.4f", epoch, phase, len(active), lastLoss)
 	}
+	return lastLoss
+}
+
+// runEpochReplica is the deterministic per-batch loop: workers stride over
+// each batch on replica modules, MergeGrads folds their gradients into the
+// master, and one shared Adam steps — bit-identical for a given (seed,
+// workers) pair.
+func (e *EmbLookup) runEpochReplica(ws []*trainWorker, master []*nn.Param, opt *nn.Adam, active []triplet.Triplet, order []int, cfg Config, rng *mathx.RNG) float64 {
+	rng.ShuffleInts(order[:len(active)])
+	var epochLoss float64
+	for start := 0; start < len(active); start += cfg.BatchSize {
+		end := start + cfg.BatchSize
+		if end > len(active) {
+			end = len(active)
+		}
+		batch := order[start:end]
+		var wg sync.WaitGroup
+		losses := make([]float32, len(ws))
+		for wi := range ws {
+			wg.Add(1)
+			go func(wi int) {
+				defer wg.Done()
+				w := ws[wi]
+				var sum float32
+				for bi := wi; bi < len(batch); bi += len(ws) {
+					sum += w.step(active[batch[bi]], cfg.Margin)
+				}
+				losses[wi] = sum
+			}(wi)
+		}
+		wg.Wait()
+		for wi := range ws {
+			nn.MergeGrads(master, ws[wi].params)
+			epochLoss += float64(losses[wi])
+		}
+		opt.Step(1 / float32(len(batch)))
+	}
+	return epochLoss / float64(len(active))
+}
+
+// hogwildWorker pairs a trainWorker whose modules are detached deep copies
+// with its personal HogwildAdam (per-worker moment shards).
+type hogwildWorker struct {
+	w   *trainWorker
+	opt *nn.HogwildAdam
+}
+
+// newHogwildWorker builds a worker with fully private weights plus the
+// optimizer that syncs them against the master cells: Pull refreshes the
+// private copy with atomic loads, Step pushes Adam deltas back with CAS
+// adds. Parameter order matches masterParams (MLP then CNN).
+func (e *EmbLookup) newHogwildWorker(cfg Config, master []*nn.Param, seed uint64) *hogwildWorker {
+	w := &trainWorker{
+		sem: e.sem, enc: e.enc, mlp: e.mlp.Detach(),
+		rng:            mathx.NewRNG(seed),
+		mentionSlot:    cfg.MentionSlot,
+		mentionDropout: cfg.MentionDropout,
+		loss:           nn.TripletLoss,
+	}
+	if cfg.Loss == "contrastive" {
+		w.loss = nn.ContrastiveLoss
+	}
+	w.params = w.mlp.Params()
+	if e.cnn != nil {
+		w.cnn = e.cnn.Detach()
+		w.params = append(w.params, w.cnn.Params()...)
+	}
+	return &hogwildWorker{w: w, opt: nn.NewHogwildAdam(cfg.LR, master, w.params)}
+}
+
+// runEpochHogwild shards the epoch's triplets into contiguous per-worker
+// ranges. Each worker shuffles its own range, then repeatedly pulls a fresh
+// weight snapshot, runs a micro-batch (BatchSize/workers triplets) on its
+// private copy, and pushes the Adam-preconditioned deltas onto the master —
+// all workers concurrently, with the only barrier at the epoch boundary
+// (selectHardParallel reads master weights plain, so it must not overlap
+// with pushes).
+func (e *EmbLookup) runEpochHogwild(hws []*hogwildWorker, active []triplet.Triplet, order []int, cfg Config, rng *mathx.RNG) float64 {
+	rng.ShuffleInts(order[:len(active)])
+	micro := cfg.BatchSize / len(hws)
+	if micro < 1 {
+		micro = 1
+	}
+	losses := make([]float64, len(hws))
+	var wg sync.WaitGroup
+	for wi := range hws {
+		lo := wi * len(active) / len(hws)
+		hi := (wi + 1) * len(active) / len(hws)
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(wi, lo, hi int) {
+			defer wg.Done()
+			hw := hws[wi]
+			mine := order[lo:hi]
+			hw.w.rng.ShuffleInts(mine)
+			var sum float64
+			for start := 0; start < len(mine); start += micro {
+				end := start + micro
+				if end > len(mine) {
+					end = len(mine)
+				}
+				hw.opt.Pull()
+				for _, ti := range mine[start:end] {
+					sum += float64(hw.w.step(active[ti], cfg.Margin))
+				}
+				hw.opt.Step(1 / float32(end-start))
+				trainHogwildSteps.Add(1)
+			}
+			losses[wi] = sum
+		}(wi, lo, hi)
+	}
+	wg.Wait()
+	var epochLoss float64
+	for _, l := range losses {
+		epochLoss += l
+	}
+	return epochLoss / float64(len(active))
 }
 
 // selectHardParallel is triplet.SelectHard fanned across workers using the

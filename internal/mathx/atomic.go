@@ -1,0 +1,44 @@
+package mathx
+
+import (
+	"math"
+	"sync/atomic"
+	"unsafe"
+)
+
+// Atomic float32 access for hogwild-style lock-free training (DESIGN.md
+// §13). Go's race detector — and the Go memory model — forbid plain
+// concurrent writes even when the algorithm tolerates lost updates, so the
+// shared parameter arrays are touched through these helpers: the *values*
+// race (an add may overwrite a concurrent add, which hogwild SGD absorbs as
+// gradient noise), but every *memory access* is a properly ordered atomic
+// on the float's bit pattern.
+
+// bits reinterprets a float32 cell as its uint32 storage. The cast is legal
+// because float32 and uint32 share size and alignment.
+func bits(p *float32) *uint32 {
+	return (*uint32)(unsafe.Pointer(p))
+}
+
+// AtomicLoadFloat32 atomically reads *p.
+func AtomicLoadFloat32(p *float32) float32 {
+	return math.Float32frombits(atomic.LoadUint32(bits(p)))
+}
+
+// AtomicStoreFloat32 atomically writes v to *p.
+func AtomicStoreFloat32(p *float32, v float32) {
+	atomic.StoreUint32(bits(p), math.Float32bits(v))
+}
+
+// AtomicAddFloat32 atomically adds delta to *p via a CAS loop. Under
+// contention a few iterations retry; training updates are sparse enough
+// that the loop almost always succeeds first try.
+func AtomicAddFloat32(p *float32, delta float32) {
+	for {
+		old := atomic.LoadUint32(bits(p))
+		next := math.Float32bits(math.Float32frombits(old) + delta)
+		if atomic.CompareAndSwapUint32(bits(p), old, next) {
+			return
+		}
+	}
+}

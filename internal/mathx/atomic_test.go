@@ -1,0 +1,40 @@
+package mathx
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestAtomicFloat32LoadStore(t *testing.T) {
+	var x float32
+	AtomicStoreFloat32(&x, 3.25)
+	if got := AtomicLoadFloat32(&x); got != 3.25 {
+		t.Fatalf("load after store = %v, want 3.25", got)
+	}
+}
+
+// TestAtomicAddFloat32Concurrent hammers one cell from many goroutines with
+// a value exactly representable in float32, so no update may be lost: the
+// CAS loop must account for every add (run under -race this also proves the
+// access pattern is data-race-free).
+func TestAtomicAddFloat32Concurrent(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 2048
+	)
+	var x float32
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				AtomicAddFloat32(&x, 0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if want := float32(goroutines * perG / 2); x != want {
+		t.Fatalf("sum = %v, want %v", x, want)
+	}
+}

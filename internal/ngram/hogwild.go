@@ -1,0 +1,288 @@
+package ngram
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"emblookup/internal/mathx"
+)
+
+// Hogwild trainer (DESIGN.md §13). The synonym-pair list is split into one
+// contiguous range per worker; every worker runs the full epoch schedule
+// over its own range and updates the shared bucket table through the
+// mathx atomic-float32 helpers — no locks, no gradient buffers, no merge
+// barrier. Updates are sparse (a pair touches a few dozen of the 2^14+
+// bucket rows), so concurrent writers rarely collide; when they do, hogwild
+// SGD absorbs the lost update as gradient noise (Recht et al., and the
+// word2vec implementation this mirrors). Three things are shared read-only
+// after a sequential setup pass: the memoized feature lists, a unigram^0.75
+// negative-sampling table, and the pair ranges. The only cross-worker
+// mutable scalar besides the bucket table is an atomic progress counter,
+// which drives the linear learning-rate decay (floor 5%) and the optional
+// OnProgress callback.
+
+// hwChunk is how many pairs a worker processes between progress-counter
+// flushes — the granularity of LR decay and OnProgress.
+const hwChunk = 1024
+
+// hwCorpus is the read-only state shared by all hogwild workers, built
+// sequentially before any goroutine starts.
+type hwCorpus struct {
+	pairFeats [][2][]int // aligned with pairs: {label feats, synonym feats}
+	labels    []string   // aligned with pairs: the label (own-negative skip)
+	negFeats  [][]int    // aligned with negatives
+	negStr    []string
+	unigram   []int32 // indexes into negFeats, unigram^0.75-weighted
+}
+
+// trainHogwild is Train's lock-free multi-worker path.
+func (m *Model) trainHogwild(pairs []Pair, negatives []string, cfg TrainConfig) {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+	negs := cfg.Negatives
+	if negs < 1 {
+		negs = 1
+	}
+	c := buildHWCorpus(m, pairs, negatives)
+	total := int64(cfg.Epochs) * int64(len(pairs))
+	if total == 0 {
+		return
+	}
+	var done atomic.Int64
+	var wg sync.WaitGroup
+	for wi := 0; wi < workers; wi++ {
+		lo := wi * len(pairs) / workers
+		hi := (wi + 1) * len(pairs) / workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(wi, lo, hi int) {
+			defer wg.Done()
+			seed := cfg.Seed ^ uint64(wi+1)*0x9e3779b97f4a7c15
+			m.hwWorker(c, cfg, negs, lo, hi, seed, total, &done)
+		}(wi, lo, hi)
+	}
+	wg.Wait()
+	if cfg.OnProgress != nil {
+		cfg.OnProgress(total, total)
+	}
+}
+
+// buildHWCorpus memoizes feature extraction for every training string and
+// builds the negative-sampling table. Runs on one goroutine; the result is
+// never written again.
+func buildHWCorpus(m *Model, pairs []Pair, negatives []string) *hwCorpus {
+	c := &hwCorpus{
+		pairFeats: make([][2][]int, len(pairs)),
+		labels:    make([]string, len(pairs)),
+		negFeats:  make([][]int, len(negatives)),
+		negStr:    negatives,
+	}
+	featCache := make(map[string][]int, 2*len(pairs)+len(negatives))
+	feats := func(s string) []int {
+		if f, ok := featCache[s]; ok {
+			return f
+		}
+		f := m.Features(s)
+		featCache[s] = f
+		return f
+	}
+	for i, p := range pairs {
+		c.pairFeats[i] = [2][]int{feats(p.Label), feats(p.Synonym)}
+		c.labels[i] = p.Label
+	}
+	negIndex := make(map[string]int, len(negatives))
+	for i, n := range negatives {
+		c.negFeats[i] = feats(n)
+		negIndex[n] = i
+	}
+	// Unigram^0.75 sampling weights: a label's frequency is how often it
+	// appears across the synonym pairs (+1 smoothing so every label is
+	// sampleable) — the word2vec negative-sampling distribution adapted to
+	// the synonym corpus.
+	counts := make([]int, len(negatives))
+	for _, p := range pairs {
+		if i, ok := negIndex[p.Label]; ok {
+			counts[i]++
+		}
+	}
+	weights := make([]float64, len(negatives))
+	var wsum float64
+	for i, n := range counts {
+		w := math.Pow(float64(n+1), 0.75)
+		weights[i] = w
+		wsum += w
+	}
+	size := 8 * len(negatives)
+	if size < 1024 {
+		size = 1024
+	}
+	if size > 1<<18 {
+		size = 1 << 18
+	}
+	c.unigram = make([]int32, size)
+	wi, cum := 0, weights[0]/wsum
+	for i := range c.unigram {
+		c.unigram[i] = int32(wi)
+		if float64(i+1)/float64(size) > cum && wi < len(weights)-1 {
+			wi++
+			cum += weights[wi] / wsum
+		}
+	}
+	return c
+}
+
+// hwWorker runs the full epoch schedule over pairs[lo:hi), mirroring the
+// sequential trainer's per-pair logic (attract, hardest-of-12 negative,
+// uniform negatives) with every bucket-table access atomic. The learning
+// rate decays linearly with global progress to a 5% floor, re-read every
+// hwChunk pairs.
+func (m *Model) hwWorker(c *hwCorpus, cfg TrainConfig, negs, lo, hi int, seed uint64, total int64, done *atomic.Int64) {
+	rng := mathx.NewRNG(seed)
+	sc := newTrainScratch(m.Dim)
+	order := make([]int, hi-lo)
+	for i := range order {
+		order[i] = lo + i
+	}
+	const hardSample = 12
+	lr := cfg.LR
+	var pending int64
+	flush := func() {
+		if pending == 0 {
+			return
+		}
+		d := done.Add(pending)
+		pending = 0
+		frac := 1 - float64(d)/float64(total)
+		if frac < 0.05 {
+			frac = 0.05
+		}
+		lr = cfg.LR * float32(frac)
+		if cfg.OnProgress != nil {
+			cfg.OnProgress(d, total)
+		}
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.ShuffleInts(order)
+		for _, pi := range order {
+			fl, fs := c.pairFeats[pi][0], c.pairFeats[pi][1]
+			own := c.labels[pi]
+			if pending++; pending >= hwChunk {
+				flush()
+			}
+			if len(fl) == 0 || len(fs) == 0 {
+				continue
+			}
+			m.attractAtomic(sc, fl, fs, lr)
+			es := m.embedFeaturesAtomicInto(sc.es, fs)
+			for n := 0; n < negs; n++ {
+				var fn []int
+				if n == 0 {
+					fn = m.hardestNegativeAtomic(sc, es, own, c, hardSample, rng)
+				} else {
+					ni := int(c.unigram[rng.Intn(len(c.unigram))])
+					if c.negStr[ni] == own {
+						continue
+					}
+					fn = c.negFeats[ni]
+				}
+				if len(fn) == 0 {
+					continue
+				}
+				m.repelAtomic(sc, fs, fn, cfg.Margin, lr)
+				m.repelAtomic(sc, fl, fn, cfg.Margin, lr*0.5)
+			}
+		}
+	}
+	flush()
+}
+
+// hardestNegativeAtomic mirrors hardestNegative over the precomputed corpus
+// with atomic table reads. The 12-candidate sample stays uniform — hard
+// negatives want coverage of the label space, not the popularity skew the
+// unigram table encodes.
+func (m *Model) hardestNegativeAtomic(sc *trainScratch, es []float32, own string, c *hwCorpus, sample int, rng *mathx.RNG) []int {
+	var best []int
+	bestD := float32(3.4e38)
+	for i := 0; i < sample; i++ {
+		ni := rng.Intn(len(c.negStr))
+		if c.negStr[ni] == own {
+			continue
+		}
+		fn := c.negFeats[ni]
+		if len(fn) == 0 {
+			continue
+		}
+		if d := mathx.SquaredL2(es, m.embedFeaturesAtomicInto(sc.eb, fn)); d < bestD {
+			best, bestD = fn, d
+		}
+	}
+	return best
+}
+
+// embedFeaturesAtomicInto is embedFeaturesInto with atomic row loads: the
+// accumulator is private, only the shared table reads are ordered.
+func (m *Model) embedFeaturesAtomicInto(out []float32, feats []int) []float32 {
+	for i := range out {
+		out[i] = 0
+	}
+	if len(feats) == 0 {
+		return out
+	}
+	for _, f := range feats {
+		row := m.Table.Row(f)
+		for i := range out {
+			out[i] += mathx.AtomicLoadFloat32(&row[i])
+		}
+	}
+	mathx.Scale(1/float32(len(feats)), out)
+	return out
+}
+
+// attractAtomic is attract with atomic reads and CAS-add writes.
+func (m *Model) attractAtomic(sc *trainScratch, fa, fb []int, lr float32) {
+	ea := m.embedFeaturesAtomicInto(sc.ea, fa)
+	eb := m.embedFeaturesAtomicInto(sc.eb, fb)
+	grad := sc.grad
+	for i := range grad {
+		grad[i] = 2 * (ea[i] - eb[i])
+	}
+	m.stepAtomic(fa, grad, lr)
+	mathx.Scale(-1, grad)
+	m.stepAtomic(fb, grad, lr)
+}
+
+// repelAtomic is repel with atomic reads and CAS-add writes.
+func (m *Model) repelAtomic(sc *trainScratch, fa, fn []int, margin, lr float32) {
+	ea := m.embedFeaturesAtomicInto(sc.ea, fa)
+	en := m.embedFeaturesAtomicInto(sc.eb, fn)
+	if mathx.SquaredL2(ea, en) >= margin {
+		return
+	}
+	grad := sc.grad
+	for i := range grad {
+		grad[i] = -2 * (ea[i] - en[i])
+	}
+	m.stepAtomic(fa, grad, lr)
+	mathx.Scale(-1, grad)
+	m.stepAtomic(fn, grad, lr)
+}
+
+// stepAtomic is step via AtomicAddFloat32 on every touched cell.
+func (m *Model) stepAtomic(feats []int, grad []float32, lr float32) {
+	scale := -lr / float32(len(feats))
+	for _, f := range feats {
+		row := m.Table.Row(f)
+		for i := range grad {
+			mathx.AtomicAddFloat32(&row[i], scale*grad[i])
+		}
+	}
+}

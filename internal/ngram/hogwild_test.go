@@ -1,0 +1,157 @@
+package ngram
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"emblookup/internal/mathx"
+)
+
+// hwTestCorpus is a synonym corpus with enough pairs to exercise several
+// workers and the unigram table's frequency weighting (alphaville appears
+// in two pairs).
+func hwTestCorpus() (pairs []Pair, negatives []string) {
+	pairs = []Pair{
+		{"alphaville", "kronstad"},
+		{"alphaville", "alfaville"},
+		{"betatown", "murdok"},
+		{"gammaport", "velizar"},
+		{"deltaburg", "quorim"},
+		{"omegagrad", "siluria"},
+		{"epsilonfield", "tarnopol"},
+		{"zetahaven", "brindisi"},
+	}
+	negatives = []string{
+		"alphaville", "betatown", "gammaport", "deltaburg",
+		"omegagrad", "epsilonfield", "zetahaven", "thetacity",
+	}
+	return pairs, negatives
+}
+
+// TestTrainDeterministicBitEqualAcrossWorkers pins the contract that
+// Deterministic mode ignores Workers entirely: the table must be
+// bit-identical at worker counts 1, 2 and 4.
+func TestTrainDeterministicBitEqualAcrossWorkers(t *testing.T) {
+	pairs, negs := hwTestCorpus()
+	var ref []float32
+	for _, workers := range []int{1, 2, 4} {
+		m := NewModel(16, 4096, 9)
+		cfg := DefaultTrainConfig()
+		cfg.Epochs = 8
+		cfg.Workers = workers
+		if !cfg.Deterministic {
+			t.Fatal("DefaultTrainConfig must be deterministic")
+		}
+		m.Train(pairs, negs, cfg)
+		if ref == nil {
+			ref = append(ref, m.Table.Data...)
+			continue
+		}
+		for i := range ref {
+			if m.Table.Data[i] != ref[i] {
+				t.Fatalf("workers=%d: table differs from workers=1 at cell %d", workers, i)
+			}
+		}
+	}
+}
+
+// TestTrainHogwildRace runs a hogwild epoch with several workers; under
+// `go test -race` this proves every shared-table access is data-race-free.
+func TestTrainHogwildRace(t *testing.T) {
+	pairs, negs := hwTestCorpus()
+	m := NewModel(16, 4096, 9)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 6
+	cfg.Workers = 4
+	cfg.Deterministic = false
+	var calls, last atomic.Int64
+	cfg.OnProgress = func(done, total int64) {
+		calls.Add(1)
+		last.Store(done)
+	}
+	m.Train(pairs, negs, cfg)
+	if calls.Load() == 0 {
+		t.Fatal("OnProgress never called")
+	}
+	if got, want := last.Load(), int64(cfg.Epochs*len(pairs)); got != want {
+		t.Fatalf("final progress = %d, want %d", got, want)
+	}
+}
+
+// meanPairDist is the convergence metric: mean squared distance between the
+// embeddings of each (label, synonym) pair — the attract term of the loss.
+func meanPairDist(m *Model, pairs []Pair) float32 {
+	var sum float32
+	for _, p := range pairs {
+		sum += mathx.SquaredL2(m.Embed(p.Label), m.Embed(p.Synonym))
+	}
+	return sum / float32(len(pairs))
+}
+
+// TestTrainHogwildConverges asserts hogwild reaches the same optimization
+// quality as the sequential trainer on a fixed seed: final mean pair
+// distance within ε, and the trained model ranks each synonym closest to
+// its own label (the property lookups depend on).
+func TestTrainHogwildConverges(t *testing.T) {
+	pairs, negs := hwTestCorpus()
+
+	seq := NewModel(32, 1<<14, 7)
+	cfgSeq := DefaultTrainConfig()
+	cfgSeq.Epochs = 60
+	seq.Train(pairs, negs, cfgSeq)
+
+	hw := NewModel(32, 1<<14, 7)
+	cfgHW := cfgSeq
+	cfgHW.Deterministic = false
+	cfgHW.Workers = 4
+	hw.Train(pairs, negs, cfgHW)
+
+	dSeq := meanPairDist(seq, pairs)
+	dHW := meanPairDist(hw, pairs)
+	const eps = 0.25
+	if diff := dHW - dSeq; diff > eps && dHW > 2*dSeq {
+		t.Fatalf("hogwild pair distance %.4f vs sequential %.4f: outside ε=%.2f", dHW, dSeq, eps)
+	}
+
+	dist := func(a, b string) float32 {
+		return mathx.SquaredL2(hw.Embed(a), hw.Embed(b))
+	}
+	for _, p := range pairs {
+		dSyn := dist(p.Label, p.Synonym)
+		for _, q := range pairs {
+			if q == p || q.Label == p.Label {
+				continue
+			}
+			if dSyn >= dist(p.Label, q.Synonym) {
+				t.Fatalf("hogwild: synonym %q not closest to %q", p.Synonym, p.Label)
+			}
+		}
+	}
+}
+
+// TestTrainHogwildSingleWorker checks the degenerate workers=1 hogwild run
+// still trains (it shares no code path with the deterministic trainer's
+// RNG schedule, so outputs differ — but the retrieval property must hold).
+func TestTrainHogwildSingleWorker(t *testing.T) {
+	pairs, negs := hwTestCorpus()
+	m := NewModel(32, 1<<14, 7)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 40
+	cfg.Workers = 1
+	cfg.Deterministic = false
+	m.Train(pairs, negs, cfg)
+	dist := func(a, b string) float32 {
+		return mathx.SquaredL2(m.Embed(a), m.Embed(b))
+	}
+	for _, p := range pairs {
+		dSyn := dist(p.Label, p.Synonym)
+		for _, q := range pairs {
+			if q == p || q.Label == p.Label {
+				continue
+			}
+			if dSyn >= dist(p.Label, q.Synonym) {
+				t.Fatalf("hogwild(workers=1): synonym %q not closest to %q", p.Synonym, p.Label)
+			}
+		}
+	}
+}

@@ -50,7 +50,14 @@ type Model struct {
 	MentionHalf bool
 	Table       *mathx.Matrix // Buckets × Dim
 
-	known map[int]struct{} // trained mention-feature buckets
+	// The known-mention set has two representations. known holds buckets
+	// registered in-process (training, RegisterMention). knownView is a
+	// sorted, read-only slice attached straight from a v4 artifact's
+	// known_mentions section — binary-searched instead of rebuilt into a
+	// map, so a million-entity attach pays O(1) for it, not O(n)
+	// (DESIGN.md §12). isKnown consults both.
+	known     map[int]struct{}
+	knownView []int64
 }
 
 // NewModel allocates a model with small random initial vectors.
@@ -118,7 +125,7 @@ func (m *Model) Features(s string) []int {
 	feats := m.subwordFeatures(s)
 	if m.MentionHalf {
 		mf := m.fnv1aTagged("MENTION:", s)
-		if _, ok := m.known[mf]; ok {
+		if m.isKnown(mf) {
 			n := len(feats)
 			for i := 0; i < n; i++ {
 				feats = append(feats, mf)
@@ -153,7 +160,7 @@ func (m *Model) EmbedPartsInto(sc *Scratch, s string, sub, mention []float32) {
 	}
 	if m.MentionHalf && norm != "" {
 		mf := m.fnv1aTagged("MENTION:", norm)
-		if _, ok := m.known[mf]; ok {
+		if m.isKnown(mf) {
 			copy(mention, m.Table.Row(mf))
 		}
 	}
@@ -218,22 +225,64 @@ func (m *Model) subwordFeaturesInto(sc *Scratch, s string) []int {
 	return feats
 }
 
+// isKnown reports whether bucket h is a trained mention feature: in the
+// in-process set, or in the sorted on-disk view (binary search — no
+// allocation, no map build on load).
+func (m *Model) isKnown(h int) bool {
+	if _, ok := m.known[h]; ok {
+		return true
+	}
+	v := m.knownView
+	if len(v) == 0 {
+		return false
+	}
+	t := int64(h)
+	lo, hi := 0, len(v)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if v[mid] < t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(v) && v[lo] == t
+}
+
 // KnownMentionHashes returns the trained mention-feature buckets (for
-// serialization).
+// serialization) — the union of the in-process set and the attached view,
+// deduplicated, in no particular order (writers sort).
 func (m *Model) KnownMentionHashes() []int {
-	out := make([]int, 0, len(m.known))
+	out := make([]int, 0, len(m.known)+len(m.knownView))
 	for h := range m.known {
 		out = append(out, h)
+	}
+	for _, h := range m.knownView {
+		if _, ok := m.known[int(h)]; !ok {
+			out = append(out, int(h))
+		}
 	}
 	return out
 }
 
-// SetKnownMentionHashes restores a serialized known-mention set.
+// SetKnownMentionHashes restores a serialized known-mention set into the
+// in-process map (the gob compatibility path).
 func (m *Model) SetKnownMentionHashes(hs []int) {
 	m.known = make(map[int]struct{}, len(hs))
+	m.knownView = nil
 	for _, h := range hs {
 		m.known[h] = struct{}{}
 	}
+}
+
+// SetKnownMentionView attaches a sorted (ascending) known-mention list as a
+// read-only view — typically a v4 artifact section aliasing an mmap, which
+// must stay alive as long as the model. Nothing is copied and no map is
+// built; membership tests binary-search the view. Later RegisterMention
+// calls layer on top in the in-process set and never mutate the view.
+func (m *Model) SetKnownMentionView(hs []int64) {
+	m.known = nil
+	m.knownView = hs
 }
 
 // RegisterMention marks s as a known mention so its whole-mention feature
@@ -279,11 +328,27 @@ type TrainConfig struct {
 	// synonyms.
 	Negatives int
 	Seed      uint64
+	// Workers is the hogwild thread count (0 = GOMAXPROCS). Ignored when
+	// Deterministic is set: the deterministic path is single-threaded by
+	// construction, so its output is bit-identical at every worker count.
+	Workers int
+	// Deterministic selects the sequential trainer: one goroutine, one RNG
+	// stream, bit-exact against every earlier release. With it off, Train
+	// runs hogwild (hogwild.go): per-worker pair ranges updating the shared
+	// bucket table lock-free, a shared unigram negative-sampling table, and
+	// an atomic progress counter decaying the learning rate.
+	Deterministic bool
+	// OnProgress, when set, is called periodically during hogwild training
+	// with (pairs processed, total pairs across all epochs). It may be
+	// invoked concurrently from several workers and must be cheap.
+	OnProgress func(done, total int64)
 }
 
-// DefaultTrainConfig returns the settings used by the pipeline.
+// DefaultTrainConfig returns the settings used by the pipeline. It is
+// deterministic: hogwild is strictly opt-in (clear Deterministic and set
+// Workers).
 func DefaultTrainConfig() TrainConfig {
-	return TrainConfig{Epochs: 5, LR: 0.05, Margin: 1.0, Negatives: 5, Seed: 17}
+	return TrainConfig{Epochs: 5, LR: 0.05, Margin: 1.0, Negatives: 5, Seed: 17, Deterministic: true}
 }
 
 // Pair is one (label, synonym) training example.
@@ -303,7 +368,6 @@ func (m *Model) Train(pairs []Pair, negatives []string, cfg TrainConfig) {
 	if len(pairs) == 0 || len(negatives) == 0 {
 		return
 	}
-	rng := mathx.NewRNG(cfg.Seed)
 	// Every training string becomes a known mention (its dedicated feature
 	// joins the bag) before features are cached.
 	for _, p := range pairs {
@@ -313,6 +377,20 @@ func (m *Model) Train(pairs []Pair, negatives []string, cfg TrainConfig) {
 	for _, n := range negatives {
 		m.RegisterMention(n)
 	}
+	if cfg.Deterministic {
+		m.trainSeq(pairs, negatives, cfg)
+		return
+	}
+	m.trainHogwild(pairs, negatives, cfg)
+}
+
+// trainSeq is the deterministic single-threaded trainer — the original
+// training loop, bit-exact against every earlier release. The per-pair
+// working buffers (feature embeddings and the gradient) live in one
+// trainScratch reused across the whole run, so the epoch loop allocates
+// nothing once the feature cache is warm (asserted in alloc_test.go).
+func (m *Model) trainSeq(pairs []Pair, negatives []string, cfg TrainConfig) {
+	rng := mathx.NewRNG(cfg.Seed)
 	featCache := make(map[string][]int)
 	feats := func(s string) []int {
 		if f, ok := featCache[s]; ok {
@@ -330,6 +408,7 @@ func (m *Model) Train(pairs []Pair, negatives []string, cfg TrainConfig) {
 	if negs < 1 {
 		negs = 1
 	}
+	sc := newTrainScratch(m.Dim)
 	const hardSample = 12
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		rng.ShuffleInts(order)
@@ -340,14 +419,14 @@ func (m *Model) Train(pairs []Pair, negatives []string, cfg TrainConfig) {
 				continue
 			}
 			// Attract synonym and label.
-			m.attract(fl, fs, cfg.LR)
+			m.attract(sc, fl, fs, cfg.LR)
 			// Repel from negatives: uniform ones plus the hardest of a
 			// random sample (the label currently nearest the synonym).
-			es := m.embedFeatures(fs)
+			es := m.embedFeaturesInto(sc.es, fs)
 			for n := 0; n < negs; n++ {
 				var fn []int
 				if n == 0 {
-					fn = m.hardestNegative(es, p.Label, negatives, hardSample, feats, rng)
+					fn = m.hardestNegative(sc, es, p.Label, negatives, hardSample, feats, rng)
 				} else {
 					neg := negatives[rng.Intn(len(negatives))]
 					if neg == p.Label {
@@ -358,16 +437,33 @@ func (m *Model) Train(pairs []Pair, negatives []string, cfg TrainConfig) {
 				if len(fn) == 0 {
 					continue
 				}
-				m.repel(fs, fn, cfg.Margin, cfg.LR)
-				m.repel(fl, fn, cfg.Margin, cfg.LR*0.5)
+				m.repel(sc, fs, fn, cfg.Margin, cfg.LR)
+				m.repel(sc, fl, fn, cfg.Margin, cfg.LR*0.5)
 			}
 		}
 	}
 }
 
+// trainScratch holds the per-step working buffers of one training
+// goroutine: two embedding accumulators, the persistent synonym embedding
+// of the current pair, and the gradient. One scratch serves a whole
+// training run; it must not be shared across goroutines.
+type trainScratch struct {
+	ea, eb, es, grad []float32
+}
+
+func newTrainScratch(dim int) *trainScratch {
+	return &trainScratch{
+		ea:   make([]float32, dim),
+		eb:   make([]float32, dim),
+		es:   make([]float32, dim),
+		grad: make([]float32, dim),
+	}
+}
+
 // hardestNegative returns the features of the closest label to es among a
 // random sample, excluding the true label.
-func (m *Model) hardestNegative(es []float32, ownLabel string, negatives []string, sample int, feats func(string) []int, rng *mathx.RNG) []int {
+func (m *Model) hardestNegative(sc *trainScratch, es []float32, ownLabel string, negatives []string, sample int, feats func(string) []int, rng *mathx.RNG) []int {
 	var best []int
 	bestD := float32(3.4e38)
 	for i := 0; i < sample; i++ {
@@ -379,16 +475,19 @@ func (m *Model) hardestNegative(es []float32, ownLabel string, negatives []strin
 		if len(fn) == 0 {
 			continue
 		}
-		if d := mathx.SquaredL2(es, m.embedFeatures(fn)); d < bestD {
+		if d := mathx.SquaredL2(es, m.embedFeaturesInto(sc.eb, fn)); d < bestD {
 			best, bestD = fn, d
 		}
 	}
 	return best
 }
 
-// embedFeatures is Embed over a precomputed feature list.
-func (m *Model) embedFeatures(feats []int) []float32 {
-	out := make([]float32, m.Dim)
+// embedFeaturesInto is Embed over a precomputed feature list, written into
+// out (length Dim), which is also returned.
+func (m *Model) embedFeaturesInto(out []float32, feats []int) []float32 {
+	for i := range out {
+		out[i] = 0
+	}
 	if len(feats) == 0 {
 		return out
 	}
@@ -400,11 +499,11 @@ func (m *Model) embedFeatures(feats []int) []float32 {
 }
 
 // attract moves the two embeddings toward each other: loss = d(a,b)².
-func (m *Model) attract(fa, fb []int, lr float32) {
-	ea := m.embedFeatures(fa)
-	eb := m.embedFeatures(fb)
+func (m *Model) attract(sc *trainScratch, fa, fb []int, lr float32) {
+	ea := m.embedFeaturesInto(sc.ea, fa)
+	eb := m.embedFeaturesInto(sc.eb, fb)
 	// dL/dea = 2(ea-eb); dL/deb = -2(ea-eb).
-	grad := make([]float32, m.Dim)
+	grad := sc.grad
 	for i := range grad {
 		grad[i] = 2 * (ea[i] - eb[i])
 	}
@@ -415,14 +514,14 @@ func (m *Model) attract(fa, fb []int, lr float32) {
 
 // repel pushes the two embeddings apart while their squared distance is
 // below the margin: loss = max(0, margin − d(a,b)²).
-func (m *Model) repel(fa, fn []int, margin, lr float32) {
-	ea := m.embedFeatures(fa)
-	en := m.embedFeatures(fn)
+func (m *Model) repel(sc *trainScratch, fa, fn []int, margin, lr float32) {
+	ea := m.embedFeaturesInto(sc.ea, fa)
+	en := m.embedFeaturesInto(sc.eb, fn)
 	if mathx.SquaredL2(ea, en) >= margin {
 		return
 	}
 	// dL/dea = -2(ea-en); dL/den = 2(ea-en).
-	grad := make([]float32, m.Dim)
+	grad := sc.grad
 	for i := range grad {
 		grad[i] = -2 * (ea[i] - en[i])
 	}

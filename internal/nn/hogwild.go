@@ -1,0 +1,129 @@
+package nn
+
+import (
+	"math"
+
+	"emblookup/internal/mathx"
+)
+
+// Hogwild support for the combiner phase (DESIGN.md §13). The replica path
+// (replica.go) shares master weights and serializes on a per-batch
+// MergeGrads barrier; the hogwild path removes the barrier entirely.
+// Each worker owns a *detached* copy of the layers — private W and Grad —
+// refreshed from the master parameters via atomic loads at the start of
+// every micro-batch (Pull), then pushes its Adam-preconditioned deltas
+// back with CAS adds (Step). The master therefore drifts under all workers
+// at once; a worker computes on a slightly stale snapshot, which is exactly
+// the staleness hogwild SGD tolerates. Every shared access is an atomic on
+// the master's cells, so the race detector is satisfied even though the
+// values race.
+
+// Detach returns a linear layer with deep-copied weights and fresh
+// gradients — no storage shared with l.
+func (l *Linear) Detach() *Linear {
+	return &Linear{In: l.In, Out: l.Out,
+		Weight: detachParam(l.Weight), Bias: detachParam(l.Bias)}
+}
+
+// Detach returns a conv layer with deep-copied weights and fresh gradients.
+func (c *Conv1D) Detach() *Conv1D {
+	return &Conv1D{In: c.In, Out: c.Out, K: c.K,
+		Weight: detachParam(c.Weight), Bias: detachParam(c.Bias)}
+}
+
+// Detach returns an MLP with deep-copied weights and fresh gradients.
+func (m *MLP) Detach() *MLP {
+	return &MLP{L1: m.L1.Detach(), L2: m.L2.Detach()}
+}
+
+// Detach returns a CharCNN with deep-copied weights and fresh gradients.
+func (m *CharCNN) Detach() *CharCNN {
+	out := &CharCNN{Convs: make([]*Conv1D, len(m.Convs))}
+	for i, c := range m.Convs {
+		out.Convs[i] = c.Detach()
+	}
+	return out
+}
+
+func detachParam(p *Param) *Param {
+	return &Param{W: p.W.Clone(), Grad: mathx.NewMatrix(p.W.Rows, p.W.Cols)}
+}
+
+// HogwildAdam is a per-worker lazy Adam over a detached parameter set. The
+// worker's local params carry the weights it computes with and the
+// gradients it accumulates; master holds the shared cells all workers
+// update. Moment estimates (m, v) are private to the worker — per-worker
+// moment shards — so the only contended state is the master weights
+// themselves.
+type HogwildAdam struct {
+	LR    float32
+	Beta1 float32
+	Beta2 float32
+	Eps   float32
+
+	t      int
+	master []*Param // shared; W touched only through atomics
+	local  []*Param // this worker's detached params, aligned with master
+	m, v   []*mathx.Matrix
+}
+
+// NewHogwildAdam pairs a worker's detached parameters with the master set.
+// The slices must align (same order, same shapes) — the same contract as
+// MergeGrads.
+func NewHogwildAdam(lr float32, master, local []*Param) *HogwildAdam {
+	if len(master) != len(local) {
+		panic("nn: hogwild master/local parameter count mismatch")
+	}
+	return &HogwildAdam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		master: master, local: local,
+		m: make([]*mathx.Matrix, len(master)),
+		v: make([]*mathx.Matrix, len(master)),
+	}
+}
+
+// Pull refreshes the worker's local weights from the master via atomic
+// loads — the start-of-micro-batch snapshot.
+func (a *HogwildAdam) Pull() {
+	for i, mp := range a.local {
+		src := a.master[i].W.Data
+		dst := mp.W.Data
+		for j := range dst {
+			dst[j] = mathx.AtomicLoadFloat32(&src[j])
+		}
+	}
+}
+
+// Step applies one lazy Adam update from the local gradients and pushes
+// each resulting weight delta onto the master with a CAS add, then clears
+// the local gradients. scale divides the gradients first (1/microBatch for
+// mean loss). Cells with zero gradient are skipped entirely — their
+// moments stay frozen — which keeps the push sparse and cheap; that is the
+// "lazy" in lazy Adam, and the standard hogwild trade (ParaGraphE makes
+// the same one).
+func (a *HogwildAdam) Step(scale float32) {
+	a.t++
+	c1 := 1 - float32(math.Pow(float64(a.Beta1), float64(a.t)))
+	c2 := 1 - float32(math.Pow(float64(a.Beta2), float64(a.t)))
+	for pi, lp := range a.local {
+		if a.m[pi] == nil {
+			a.m[pi] = mathx.NewMatrix(lp.W.Rows, lp.W.Cols)
+			a.v[pi] = mathx.NewMatrix(lp.W.Rows, lp.W.Cols)
+		}
+		mo, vo := a.m[pi].Data, a.v[pi].Data
+		masterW := a.master[pi].W.Data
+		for i, g := range lp.Grad.Data {
+			if g == 0 {
+				continue
+			}
+			g *= scale
+			mo[i] = a.Beta1*mo[i] + (1-a.Beta1)*g
+			vo[i] = a.Beta2*vo[i] + (1-a.Beta2)*g*g
+			mHat := mo[i] / c1
+			vHat := vo[i] / c2
+			delta := -a.LR * mHat / (float32(math.Sqrt(float64(vHat))) + a.Eps)
+			mathx.AtomicAddFloat32(&masterW[i], delta)
+		}
+		lp.ZeroGrad()
+	}
+}

@@ -1,0 +1,157 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestIngestEndpoint drives the streaming-ingest loop over HTTP: a new
+// entity posted to /ingest?flush=1 is immediately the top /lookup hit, and
+// /stats grows an ingest section.
+func TestIngestEndpoint(t *testing.T) {
+	g, m := testModel(t)
+	dyn := m.WithDynamicIndex(1 << 30)
+	in, err := dyn.NewIngestor(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	s := New(g, dyn, WithIngest(in))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const label = "zanzibar quantum relay"
+	resp, err := ts.Client().Post(ts.URL+"/ingest?flush=1", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"newEntity":true,"label":%q}`, label)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ir IngestResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || ir.Enqueued != 1 || ir.Stats == nil || ir.Stats.Applied < 1 {
+		t.Fatalf("flush ingest: status %d, resp %+v", resp.StatusCode, ir)
+	}
+
+	lr, err := ts.Client().Get(ts.URL + "/lookup?q=" + strings.ReplaceAll(label, " ", "+") + "&k=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var look LookupResponse
+	if err := json.NewDecoder(lr.Body).Decode(&look); err != nil {
+		t.Fatal(err)
+	}
+	lr.Body.Close()
+	if len(look.Results) == 0 || look.Results[0].Label != label {
+		t.Fatalf("ingested entity not served: %+v", look.Results)
+	}
+
+	// A JSON array enqueues asynchronously with a 202.
+	target := g.Entities[2].ID
+	resp, err = ts.Client().Post(ts.URL+"/ingest", "application/json",
+		strings.NewReader(fmt.Sprintf(`[{"mention":"relay alias one","id":%d},{"mention":"relay alias two","id":%d}]`, target, target)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("array ingest status = %d, want 202", resp.StatusCode)
+	}
+	in.Flush()
+
+	st, err := ts.Client().Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats StatsResponse
+	if err := json.NewDecoder(st.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	st.Body.Close()
+	if stats.Ingest == nil || stats.Ingest.Applied < 3 {
+		t.Fatalf("stats ingest section = %+v, want ≥3 applied", stats.Ingest)
+	}
+
+	// Garbage body is a 400, not a crash.
+	resp, err = ts.Client().Post(ts.URL+"/ingest", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad body status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestIngestEndpointGating: without WithIngest the route does not exist.
+func TestIngestEndpointGating(t *testing.T) {
+	_, s := testServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := ts.Client().Post(ts.URL+"/ingest", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("ingest on plain server status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestIngestConcurrentWithHTTPLookups posts ingest batches while reader
+// goroutines hit /lookup — under `go test -race` this pins the server-side
+// graph read-locking during live ingest.
+func TestIngestConcurrentWithHTTPLookups(t *testing.T) {
+	g, m := testModel(t)
+	dyn := m.WithDynamicIndex(1 << 30)
+	in, err := dyn.NewIngestor(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	s := New(g, dyn, WithIngest(in))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := ts.Client().Get(ts.URL + "/lookup?q=garnak+relay&k=3")
+				if err != nil {
+					return
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+	for i := 0; i < 16; i++ {
+		resp, err := ts.Client().Post(ts.URL+"/ingest", "application/json",
+			strings.NewReader(fmt.Sprintf(`{"newEntity":true,"label":"garnak station %02d"}`, i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	in.Flush()
+	close(stop)
+	wg.Wait()
+	if st := in.Stats(); st.Applied != 16 || st.Failed != 0 {
+		t.Fatalf("ingest stats = %+v, want 16 applied", st)
+	}
+}

@@ -21,6 +21,7 @@ package server
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -45,6 +46,7 @@ type Server struct {
 	serve     *serve.Serve
 	pprof     bool
 	partition *PartitionInfo
+	ingest    *core.Ingestor
 
 	reg          *obs.Registry
 	mountMetrics bool
@@ -101,6 +103,14 @@ func WithSlowLog(sl *obs.SlowLog) Option {
 	return func(s *Server) { s.slowLog = sl }
 }
 
+// WithIngest mounts POST /ingest backed by in (streaming entity/alias
+// ingest, DESIGN.md §13) and adds an ingest section to /stats. The graph
+// now grows under live traffic, so every handler resolving entity IDs takes
+// the ingestor's read lock around graph accesses.
+func WithIngest(in *core.Ingestor) Option {
+	return func(s *Server) { s.ingest = in }
+}
+
 // New builds a server over a trained model.
 func New(g *kg.Graph, model *core.EmbLookup, opts ...Option) *Server {
 	s := &Server{
@@ -148,6 +158,9 @@ func (s *Server) Handler() http.Handler {
 	})
 	if s.partition != nil {
 		mux.HandleFunc("POST /partition/search", s.handlePartitionSearch)
+	}
+	if s.ingest != nil {
+		mux.HandleFunc("POST /ingest", s.handleIngest)
 	}
 	if s.mountMetrics {
 		mux.Handle("GET /metrics", s.reg.Handler())
@@ -235,9 +248,24 @@ func (s *Server) parseK(r *http.Request) (int, error) {
 	return k, nil
 }
 
+// graphRLock/graphRUnlock guard graph reads against live ingest. Without an
+// ingestor the graph is immutable and the calls are no-ops.
+func (s *Server) graphRLock() {
+	if s.ingest != nil {
+		s.ingest.RLock()
+	}
+}
+
+func (s *Server) graphRUnlock() {
+	if s.ingest != nil {
+		s.ingest.RUnlock()
+	}
+}
+
 func (s *Server) hits(tr *obs.Trace, q string, k int) []Hit {
 	res := s.lookupOne(tr, q, k)
 	hits := make([]Hit, len(res))
+	s.graphRLock()
 	for i, c := range res {
 		e := s.graph.Entity(c.ID)
 		h := Hit{ID: int32(c.ID), Label: e.Label, Score: c.Score}
@@ -246,6 +274,7 @@ func (s *Server) hits(tr *obs.Trace, q string, k int) []Hit {
 		}
 		hits[i] = h
 	}
+	s.graphRUnlock()
 	return hits
 }
 
@@ -330,11 +359,70 @@ func (s *Server) handleBulk(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	for i, q := range queries {
 		hits := make([]Hit, len(results[i]))
+		s.graphRLock()
 		for j, c := range results[i] {
 			hits[j] = Hit{ID: int32(c.ID), Label: s.graph.Label(c.ID), Score: c.Score}
 		}
+		s.graphRUnlock()
 		enc.Encode(LookupResponse{Query: q, Results: hits})
 	}
+}
+
+// IngestResponse is the POST /ingest reply.
+type IngestResponse struct {
+	Enqueued int               `json:"enqueued"`
+	Stats    *core.IngestStats `json:"stats,omitempty"`
+}
+
+// handleIngest accepts one IngestItem or a JSON array of them, enqueues
+// everything, and replies 202 — ingest is asynchronous by design. With
+// ?flush=1 it waits until the batch is applied and replies 200 with the
+// ingestor's counters, which is how a client gets read-your-writes.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.MaxBulkBytes)
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			http.Error(w, fmt.Sprintf("request body exceeds %d bytes", s.MaxBulkBytes), http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var items []core.IngestItem
+	trimmed := bytes.TrimLeft(body, " \t\r\n")
+	if len(trimmed) > 0 && trimmed[0] == '[' {
+		err = json.Unmarshal(body, &items)
+	} else {
+		var one core.IngestItem
+		err = json.Unmarshal(body, &one)
+		items = []core.IngestItem{one}
+	}
+	if err != nil {
+		http.Error(w, fmt.Sprintf("decoding ingest items: %v", err), http.StatusBadRequest)
+		return
+	}
+	if len(items) > s.MaxBulkQueries {
+		http.Error(w, fmt.Sprintf("item count exceeds limit %d", s.MaxBulkQueries), http.StatusBadRequest)
+		return
+	}
+	for _, it := range items {
+		if err := s.ingest.Enqueue(it); err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+	}
+	resp := IngestResponse{Enqueued: len(items)}
+	w.Header().Set("Content-Type", "application/json")
+	if r.URL.Query().Get("flush") == "1" {
+		s.ingest.Flush()
+		st := s.ingest.Stats()
+		resp.Stats = &st
+	} else {
+		w.WriteHeader(http.StatusAccepted)
+	}
+	json.NewEncoder(w).Encode(resp)
 }
 
 // StatsResponse is the /stats reply. Serving is present only when the
@@ -351,16 +439,20 @@ type StatsResponse struct {
 	Compressed    bool           `json:"compressed"`
 	IndexSource   string         `json:"indexSource,omitempty"`
 	IndexAttachUs int64          `json:"indexAttachUs,omitempty"`
-	Serving       *serve.Stats   `json:"serving,omitempty"`
-	Partition     *PartitionInfo `json:"partition,omitempty"`
+	Serving       *serve.Stats      `json:"serving,omitempty"`
+	Partition     *PartitionInfo    `json:"partition,omitempty"`
+	Ingest        *core.IngestStats `json:"ingest,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	cfg := s.model.Config()
 	prov := s.model.IndexProvenance()
+	s.graphRLock()
+	entities := len(s.graph.Entities)
+	s.graphRUnlock()
 	resp := StatsResponse{
 		Graph:         s.graph.Name,
-		Entities:      len(s.graph.Entities),
+		Entities:      entities,
 		IndexRows:     s.model.Index().Len(),
 		IndexBytes:    s.model.Index().SizeBytes(),
 		Dim:           cfg.Dim,
@@ -373,6 +465,10 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		resp.Serving = &st
 	}
 	resp.Partition = s.partition
+	if s.ingest != nil {
+		st := s.ingest.Stats()
+		resp.Ingest = &st
+	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)
 }

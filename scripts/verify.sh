@@ -64,6 +64,14 @@ echo "== build benchmarks (short) =="
 go test -run '^$' -bench 'BenchmarkPQBuild|BenchmarkIVFBuild' \
     -benchtime 3x .
 
+echo "== training and ingest benchmarks (short) =="
+# Deterministic vs hogwild training (det/hw1/hw2/hw4) and the streaming
+# ingest loop; the full train-phase rows plus the ingest-lag snapshot live
+# in BENCH_build.json (train_semantic / train_combiner / obs_ingest) and
+# are diffed by `make bench-compare`.
+go test -run '^$' -bench 'BenchmarkTrainEpoch|BenchmarkIngest$' \
+    -benchtime 1x .
+
 echo "== cluster benchmarks (short) =="
 go test -run '^$' -bench 'BenchmarkClusterLookup' \
     -benchtime 10x ./internal/cluster
