@@ -248,6 +248,33 @@ func benchScaleOne(snap *benchSnapshot, weights string, n int, seed uint64, dir,
 			})
 		}
 		ivf.SetNProbe(orig)
+
+		// The re-rank sweep (Config.Rerank): decide the final top-k by
+		// exact distances over the ADC shortlist, re-reading raw vectors —
+		// the recall the quantized scan gives up at scale, bought back at
+		// the cost of k×factor exact distances per probe. The flat
+		// ground-truth matrix doubles as the re-rank vectors.
+		if ivf.Quantizer() != nil {
+			for _, f := range []int{2, 4, 8} {
+				if err := ivf.SetRerank(f, data); err != nil {
+					return err
+				}
+				r1, r10 := recallAgainst(served, queries, truth)
+				start := time.Now()
+				for _, q := range queries {
+					served.Lookup(q, 10)
+				}
+				mean := float64(time.Since(start).Microseconds()) / float64(len(queries))
+				add(tag(fmt.Sprintf("rerank_%d", f)), map[string]float64{
+					"recall_at_1":  r1,
+					"recall_at_10": r10,
+					"mean_us":      mean,
+				})
+			}
+			if err := ivf.SetRerank(0, nil); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }

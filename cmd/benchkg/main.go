@@ -31,6 +31,14 @@
 //
 //	benchkg -bench-cluster BENCH_cluster.json [-entities 2000]
 //
+// With -bench-replica it measures the replicated control plane
+// (internal/replica): tail latency under a degraded replica with
+// distinct-replica hedging vs the single-replica duplicate-send, the
+// latency a replica crash makes visible before failover settles, and a
+// live 2→3 rebalance under concurrent traffic:
+//
+//	benchkg -bench-replica BENCH_replica.json [-entities 2000]
+//
 // With -bench-scale it measures what the zero-copy v4 artifact format buys
 // as the corpus grows: per entity count, cold attach time and resident
 // memory (v4 mmap vs gob decode, each in a fresh subprocess), recall@1/@10
@@ -66,6 +74,7 @@ func main() {
 	benchServePath := flag.String("bench-serve", "", "train a model and write a serving benchmark snapshot to this JSON file")
 	benchBuildPath := flag.String("bench-build", "", "train a model and write an index-construction benchmark snapshot to this JSON file")
 	benchClusterPath := flag.String("bench-cluster", "", "train a model and write a cluster serving benchmark snapshot to this JSON file")
+	benchReplicaPath := flag.String("bench-replica", "", "train a model and write a replicated-cluster benchmark snapshot (hedging, failover, rebalance) to this JSON file")
 	benchScalePath := flag.String("bench-scale", "", "write the scaling benchmark snapshot (cold attach, RSS, recall, latency per entity count) to this JSON file")
 	scales := flag.String("scales", "10000,100000", "comma-separated entity counts for -bench-scale")
 	scaleAttach := flag.String("scale-attach", "", "internal: cold-attach the given artifact once and print a JSON probe (used by -bench-scale subprocesses)")
@@ -104,6 +113,12 @@ func main() {
 	}
 	if *benchClusterPath != "" {
 		if err := benchCluster(*benchClusterPath, *entities, *seed); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *benchReplicaPath != "" {
+		if err := benchReplica(*benchReplicaPath, *entities, *seed); err != nil {
 			log.Fatal(err)
 		}
 		return

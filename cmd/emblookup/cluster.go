@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"strings"
@@ -10,6 +11,7 @@ import (
 	"emblookup/internal/core"
 	"emblookup/internal/kg"
 	"emblookup/internal/obs"
+	"emblookup/internal/replica"
 	"emblookup/internal/server"
 )
 
@@ -97,12 +99,18 @@ func cmdClusterNode(args []string) {
 
 // cmdClusterRoute runs the coordinator: it embeds each query once locally
 // and scatter-gathers exact top-k over the partition nodes, with hedged
-// requests and failure-aware degradation.
+// requests and failure-aware degradation. With -nodes the assignment is
+// static (one replica per partition, fixed for the process lifetime); with
+// -map-url the router fetches the versioned cluster map from a replica
+// coordinator and keeps polling it, following epoch bumps — replica sets,
+// rolling restarts, and rebalances — live.
 func cmdClusterRoute(args []string) {
 	fs := flag.NewFlagSet("cluster-route", flag.ExitOnError)
 	graphPath := fs.String("graph", "graph.bin", "graph file")
 	modelPath := fs.String("model", "model.bin", "model file (embedder weights; index unused)")
-	nodes := fs.String("nodes", "", "comma-separated node base URLs in partition order")
+	nodes := fs.String("nodes", "", "comma-separated node base URLs in partition order (static single-replica assignment)")
+	mapURL := fs.String("map-url", "", "coordinator map endpoint (e.g. http://coord:9090/cluster/map); polled for epoch bumps")
+	poll := fs.Duration("poll", 0, "map poll interval with -map-url (0 = default 1s)")
 	addr := fs.String("addr", ":8080", "listen address")
 	timeout := fs.Duration("timeout", 0, "per-request node timeout (0 = default 2s)")
 	hedgeAfter := fs.Duration("hedge-after", 0, "hedge a straggling node request after this delay (0 = default 50ms, negative disables)")
@@ -110,9 +118,8 @@ func cmdClusterRoute(args []string) {
 	slowMs := fs.Int("slowlog-ms", 100, "log routed queries slower than this many ms at GET /debug/slowlog (0 disables)")
 	fs.Parse(args)
 
-	urls := strings.Split(*nodes, ",")
-	if *nodes == "" || len(urls) == 0 {
-		log.Fatal("cluster-route: -nodes requires at least one URL")
+	if (*nodes == "") == (*mapURL == "") {
+		log.Fatal("cluster-route: exactly one of -nodes or -map-url is required")
 	}
 	g, err := kg.LoadFile(*graphPath)
 	if err != nil {
@@ -123,27 +130,74 @@ func cmdClusterRoute(args []string) {
 		log.Fatalf("loading model: %v", err)
 	}
 	obs.Default().SetEnabled(*metricsOn)
-	rt, err := cluster.NewRouter(model, urls, cluster.RouterOptions{
+	ropts := cluster.RouterOptions{
 		Timeout:    *timeout,
 		HedgeAfter: *hedgeAfter,
-	})
-	if err != nil {
-		log.Fatalf("router: %v", err)
+	}
+	var rt *cluster.Router
+	if *mapURL != "" {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		m, err := replica.FetchMap(ctx, nil, *mapURL)
+		cancel()
+		if err != nil {
+			log.Fatalf("fetching cluster map: %v", err)
+		}
+		rt, err = cluster.NewRouterWithMap(model, m, ropts)
+		if err != nil {
+			log.Fatalf("router: %v", err)
+		}
+		poller := replica.StartPoller(rt, *mapURL, *poll)
+		defer poller.Close()
+		interval := *poll
+		if interval <= 0 {
+			interval = time.Second
+		}
+		log.Printf("cluster map epoch %d from %s (polling every %v)", m.Epoch, *mapURL, interval)
+	} else {
+		urls := strings.Split(*nodes, ",")
+		rt, err = cluster.NewRouter(model, urls, ropts)
+		if err != nil {
+			log.Fatalf("router: %v", err)
+		}
 	}
 	defer rt.Close()
 	if *metricsOn {
 		rt.Metrics = obs.Default()
 	}
 	rt.SlowLog = newSlowLog(*slowMs)
-	log.Printf("routing over %d partitions on %s", len(urls), *addr)
+	log.Printf("routing over %d partitions on %s", rt.Partitions(), *addr)
 	log.Fatal(server.NewHTTPServer(*addr, rt.Handler()).ListenAndServe())
 }
 
 // serveCluster is `emblookup serve -cluster N`: an in-process demo cluster —
 // N partition nodes on loopback listeners plus the router serving the public
 // address. Same code path as a real multi-machine deployment, minus the
-// machines.
-func serveCluster(g *kg.Graph, model *core.EmbLookup, addr string, n int, metricsOn bool, sl *obs.SlowLog) {
+// machines. With -replicas R > 1 it runs the replicated control plane
+// instead: R replicas per partition, a coordinator gossiping the versioned
+// cluster map, and routed ingest fanning to the owning partition's
+// replicas.
+func serveCluster(g *kg.Graph, model *core.EmbLookup, addr string, n, replicas int, metricsOn bool, sl *obs.SlowLog) {
+	if replicas > 1 {
+		c, err := replica.Start(model, n, replica.Options{Replicas: replicas})
+		if err != nil {
+			log.Fatalf("starting in-process replicated cluster: %v", err)
+		}
+		defer c.Close()
+		if metricsOn {
+			c.Router.Metrics = obs.Default()
+		}
+		c.Router.SlowLog = sl
+		for p := 0; p < n; p++ {
+			for j := 0; j < replicas; j++ {
+				log.Printf("  node %d/%d: rows [%d, %d) at %s",
+					p, j, c.Manifest.Bounds[p], c.Manifest.Bounds[p+1], c.NodeURL(p, j))
+			}
+		}
+		log.Printf("cluster map at %s (epoch %d)", c.MapURL, c.Coord.Epoch())
+		log.Printf("routing over %d in-process partitions x %d replicas on %s (graph: %s, %d entities)",
+			n, replicas, addr, g.Name, len(g.Entities))
+		log.Fatal(server.NewHTTPServer(addr, c.Router.Handler()).ListenAndServe())
+	}
 	l, err := cluster.StartLocal(model, n, cluster.LocalOptions{})
 	if err != nil {
 		log.Fatalf("starting in-process cluster: %v", err)

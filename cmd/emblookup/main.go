@@ -27,6 +27,13 @@
 //	emblookup cluster-part  -graph graph.bin -model model.bin -out cluster/ -p 4
 //	emblookup cluster-node  -graph graph.bin -dir cluster/ -part 0 -addr :8081
 //	emblookup cluster-route -graph graph.bin -model model.bin -nodes http://localhost:8081,... -addr :8080
+//
+// Replicated serving (DESIGN.md §14) adds replica sets, a versioned cluster
+// map, and routed ingest; `serve -cluster P -replicas R` runs it in-process,
+// and a router can follow a coordinator's map live via -map-url:
+//
+//	emblookup serve -graph graph.bin -model model.bin -cluster 2 -replicas 2
+//	emblookup cluster-route -graph graph.bin -model model.bin -map-url http://coord:9090/cluster/map -addr :8080
 package main
 
 import (
@@ -215,6 +222,7 @@ func cmdServe(args []string) {
 	cacheSize := fs.Int("cache-size", 0, "mention cache entries (0 = default 4096, negative disables the cache)")
 	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	clusterN := fs.Int("cluster", 0, "run an in-process demo cluster with N partition nodes behind a router")
+	replicasN := fs.Int("replicas", 1, "replicas per partition with -cluster (R > 1 runs the replicated control plane: coordinator, versioned map, routed ingest)")
 	metricsOn := fs.Bool("metrics", true, "record metrics and expose them at GET /metrics (false disables all recording)")
 	slowMs := fs.Int("slowlog-ms", 100, "log queries slower than this many ms at GET /debug/slowlog (0 disables)")
 	dynamic := fs.Bool("dynamic", false, "live ingest mode: mutable index + POST /ingest (bypasses the serving substrate, whose caches assume an immutable index)")
@@ -234,7 +242,7 @@ func cmdServe(args []string) {
 	obs.Default().SetEnabled(*metricsOn)
 	sl := newSlowLog(*slowMs)
 	if *clusterN > 0 {
-		serveCluster(g, model, *addr, *clusterN, *metricsOn, sl)
+		serveCluster(g, model, *addr, *clusterN, *replicasN, *metricsOn, sl)
 		return
 	}
 	var opts []server.Option

@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"emblookup/internal/server"
+)
+
+// TestProbeStaleness pins the readmission gate: a probe heals a node only
+// when its /healthz *report* matches the view's expectations — right
+// partition, ingest watermark reached — not merely when the process
+// answers 200. Liveness is not correctness.
+func TestProbeStaleness(t *testing.T) {
+	var partition atomic.Int64
+	var applied atomic.Int64
+	var status atomic.Int64
+	status.Store(http.StatusOK)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s := int(status.Load()); s != http.StatusOK {
+			http.Error(w, "down", s)
+			return
+		}
+		json.NewEncoder(w).Encode(server.HealthzResponse{
+			Status:        "ok",
+			Partition:     &server.PartitionInfo{ID: int(partition.Load()), Count: 2},
+			IngestApplied: applied.Load(),
+		})
+	}))
+	defer srv.Close()
+
+	c := newNodeClient(0, 0, srv.URL, 1)
+	c.markFailure()
+	if c.healthy() {
+		t.Fatal("node should be down after one failure at threshold 1")
+	}
+	check := func(name string, expect probeExpect, want bool) {
+		t.Helper()
+		c.markFailure() // re-down between checks so markSuccess is observable
+		if got := c.probe(context.Background(), time.Second, expect); got != want {
+			t.Fatalf("%s: probe = %v, want %v", name, got, want)
+		}
+		if c.healthy() != want {
+			t.Fatalf("%s: healthy = %v after probe, want %v", name, c.healthy(), want)
+		}
+	}
+
+	// Current report on the right partition heals.
+	check("current", probeExpect{partition: 0}, true)
+	// Wrong partition: alive but serving the wrong slice — stays down.
+	partition.Store(1)
+	check("wrong partition", probeExpect{partition: 0}, false)
+	partition.Store(0)
+	// Ingest watermark not reached: restarted without replay — stays down.
+	check("stale ingest", probeExpect{partition: 0, minApplied: 3}, false)
+	applied.Store(3)
+	check("caught up", probeExpect{partition: 0, minApplied: 3}, true)
+	// partition < 0 skips the assignment check entirely.
+	partition.Store(7)
+	check("unchecked", probeExpect{partition: -1}, true)
+	// Non-200 always fails regardless of expectations.
+	status.Store(http.StatusServiceUnavailable)
+	check("non-200", probeExpect{partition: -1}, false)
+	status.Store(http.StatusOK)
+	partition.Store(0)
+
+	// A plain-text 200 "ok" (no JSON report) passes on status alone — the
+	// compatibility path for bare handlers with no partition state.
+	plain := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	defer plain.Close()
+	pc := newNodeClient(0, 0, plain.URL, 1)
+	pc.markFailure()
+	if !pc.probe(context.Background(), time.Second, probeExpect{partition: 0, minApplied: 5}) {
+		t.Fatal("plain ok body should pass on status alone")
+	}
+}

@@ -1,0 +1,196 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"time"
+
+	"emblookup/internal/obs"
+	"emblookup/internal/server"
+)
+
+// replicaSet is one partition's replica clients under a given cluster-map
+// epoch. The set itself is immutable (a new map builds new sets over the
+// persistent clients); all mutable state lives in the nodeClients, which
+// survive epoch changes so health and latency history carry over.
+type replicaSet struct {
+	partition int
+	replicas  []*nodeClient
+}
+
+// anyHealthy reports whether the scatter can cover this partition at all;
+// when false the partition is skipped and the response turns partial.
+func (rs *replicaSet) anyHealthy() bool {
+	for _, c := range rs.replicas {
+		if c.healthy() {
+			return true
+		}
+	}
+	return false
+}
+
+// pick selects the untried replica with the lowest EWMA latency score,
+// preferring healthy ones (allowDown widens to unhealthy as a last resort).
+// Score ties break toward the earlier replica — the primary — so an idle
+// set routes deterministically.
+func (rs *replicaSet) pick(tried map[*nodeClient]bool, allowDown bool) *nodeClient {
+	var best *nodeClient
+	var bestScore float64
+	for _, c := range rs.replicas {
+		if tried[c] || (!allowDown && !c.healthy()) {
+			continue
+		}
+		if s := c.score(); best == nil || s < bestScore {
+			best, bestScore = c, s
+		}
+	}
+	return best
+}
+
+// pickFor is the per-attempt selection ladder: an untried healthy replica,
+// then an untried unhealthy one, and — once every replica has been risked —
+// the exclusion set resets so a retry budget larger than the set still
+// spends every attempt.
+func (rs *replicaSet) pickFor(tried map[*nodeClient]bool) *nodeClient {
+	if c := rs.pick(tried, false); c != nil {
+		return c
+	}
+	if c := rs.pick(tried, true); c != nil {
+		return c
+	}
+	clear(tried)
+	if c := rs.pick(tried, false); c != nil {
+		return c
+	}
+	return rs.pick(tried, true)
+}
+
+// search runs one scatter leg against the replica set. With one replica it
+// is exactly the PR-4 single-node discipline (bounded retries against that
+// node, hedged duplicate to the same node). With more, every retry attempt
+// is steered to a different replica (health first, then EWMA score) and the
+// hedged duplicate races a *distinct* replica against the straggler — the
+// tail-latency win replication buys: a slow node cannot also be the
+// insurance against itself.
+func (rs *replicaSet) search(ctx context.Context, tr *obs.Trace, k int, embs [][]float32, opts RouterOptions) ([][]server.PartitionHit, error) {
+	if len(rs.replicas) == 1 {
+		return rs.replicas[0].search(ctx, tr, k, embs, opts.Timeout, opts.HedgeAfter, opts.Retry)
+	}
+	body, err := json.Marshal(server.PartitionSearchRequest{K: k, Queries: embs})
+	if err != nil {
+		return nil, err
+	}
+	attempts := opts.Retry.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	tried := make(map[*nodeClient]bool, len(rs.replicas))
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			RealSleep.Sleep(opts.Retry.Backoff(a - 1))
+		}
+		c := rs.pickFor(tried)
+		if c == nil {
+			break // unreachable with a validated map; defensive
+		}
+		if a > 0 {
+			c.retries.Add(1)
+			c.retryTotal.Inc()
+		}
+		tried[c] = true
+		hits, winner, err := rs.hedged(ctx, tr, a, c, tried, body, len(embs), opts)
+		if err == nil {
+			winner.markSuccess()
+			return hits, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// replicaReply extends searchReply with which contender produced it.
+type replicaReply struct {
+	searchReply
+	node *nodeClient
+}
+
+// hedged issues the attempt against primary and, if no reply lands within
+// HedgeAfter, fires the duplicate at the best *other* untried replica
+// (falling back to the same node only when the set is exhausted). Failed
+// contenders are marked down-path immediately — cancellation of the losing
+// duplicate is not a failure. Returns the winning node so the caller
+// credits the success where it landed.
+func (rs *replicaSet) hedged(ctx context.Context, tr *obs.Trace, attempt int, primary *nodeClient, tried map[*nodeClient]bool, body []byte, nq int, opts RouterOptions) ([][]server.PartitionHit, *nodeClient, error) {
+	markFail := func(c *nodeClient, err error) {
+		// The shared context cancels the loser when a winner returns;
+		// that abort says nothing about the loser's health.
+		if !errors.Is(err, context.Canceled) {
+			c.markFailure()
+		}
+	}
+	if opts.HedgeAfter <= 0 {
+		sp := tr.StartAttempt(primary.spanRPC, false, attempt)
+		start := time.Now()
+		hits, spans, err := primary.post(ctx, tr.ID(), body, nq, opts.Timeout)
+		sp.End()
+		if err != nil {
+			markFail(primary, err)
+			return nil, nil, err
+		}
+		tr.Graft(primary.spanPrefix, tr.SinceUs(start), spans)
+		return hits, primary, nil
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel() // aborts the losing contender as soon as a winner returns
+	ch := make(chan replicaReply, 2)
+	fire := func(c *nodeClient, isHedge bool) {
+		go func() {
+			sp := tr.StartAttempt(c.spanRPC, isHedge, attempt)
+			start := time.Now()
+			hits, spans, err := c.post(cctx, tr.ID(), body, nq, opts.Timeout)
+			sp.End()
+			ch <- replicaReply{searchReply{hits: hits, spans: spans, start: start, err: err, hedged: isHedge}, c}
+		}()
+	}
+	fire(primary, false)
+	timer := time.NewTimer(opts.HedgeAfter)
+	defer timer.Stop()
+	inFlight := 1
+	var firstErr error
+	for {
+		select {
+		case r := <-ch:
+			if r.err == nil {
+				if r.hedged {
+					r.node.hedgeWins.Add(1)
+					r.node.hedgeWinTotal.Inc()
+				}
+				tr.Graft(r.node.spanPrefix, tr.SinceUs(r.start), r.spans)
+				return r.hits, r.node, nil
+			}
+			markFail(r.node, r.err)
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			inFlight--
+			if inFlight == 0 {
+				return nil, nil, firstErr
+			}
+		case <-timer.C:
+			// The hedge counter lands on the straggler — it is the node
+			// whose tail the duplicate insures against.
+			primary.hedges.Add(1)
+			primary.hedgeTotal.Inc()
+			alt := rs.pick(tried, false)
+			if alt == nil {
+				alt = primary
+			} else {
+				tried[alt] = true
+			}
+			fire(alt, true)
+			inFlight++
+		}
+	}
+}

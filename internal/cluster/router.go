@@ -24,17 +24,20 @@ import (
 type RouterOptions struct {
 	// Timeout bounds one attempt against one node (default 2s).
 	Timeout time.Duration
-	// Retry is the per-node retry/backoff policy (default 3 attempts,
-	// 10ms base backoff).
+	// Retry is the per-partition retry/backoff policy (default 3 attempts,
+	// 10ms base backoff). With replicas, each retry attempt is steered to a
+	// different replica of the set.
 	Retry RetryPolicy
 	// HedgeAfter races a duplicate request against a node that has not
 	// answered within this delay — the tail-latency insurance of
-	// partitioned fan-outs, where the slowest partition gates every query
-	// (default 50ms; negative disables hedging).
+	// partitioned fan-outs, where the slowest partition gates every query.
+	// With replicas the duplicate goes to a *distinct* replica (default
+	// 50ms; negative disables hedging).
 	HedgeAfter time.Duration
 	// FailThreshold consecutive failed requests mark a node unhealthy
-	// (default 3); an unhealthy node is skipped — responses turn partial —
-	// until a health probe passes.
+	// (default 3); an unhealthy node is skipped — responses turn partial
+	// only when every replica of a partition is down — until a health probe
+	// passes.
 	FailThreshold int
 	// ProbeInterval is how often unhealthy nodes are probed for recovery
 	// (default 1s).
@@ -71,17 +74,42 @@ func (o *RouterOptions) fill() {
 	}
 }
 
+// ErrStaleEpoch marks an ApplyMap rejected because the router already
+// serves that epoch or a newer one — expected when gossip and direct
+// application race; callers treat it as "already there", not a failure.
+var ErrStaleEpoch = errors.New("stale map epoch")
+
+// routerView is one epoch's immutable routing state. Lookups pin the view
+// they started on (acquireView), so a map change drains in-flight queries
+// on the old assignment before the control plane may tear its nodes down —
+// the zero-dropped-queries half of the rolling-restart contract.
+type routerView struct {
+	epoch int64
+	m     Map
+	parts []*replicaSet
+
+	inflight atomic.Int64
+	retired  atomic.Bool
+}
+
 // Router is the cluster coordinator: it embeds each query once locally
 // (it holds the full model weights; nodes hold only index slices),
-// scatter-gathers the partition-scoped search over every healthy node, and
-// merges per-partition hits under the canonical (Dist, Row) order — so a
-// P-node cluster returns bit-identical candidates to the single-process
-// sharded index. When partitions are missing (unhealthy or failing nodes)
-// the merge still returns the surviving partitions' exact results, flagged
-// Partial. Safe for concurrent use; Close stops the health prober.
+// scatter-gathers the partition-scoped search over every partition's
+// replica set, and merges per-partition hits under the canonical
+// (Dist, Row) order — so a P-partition cluster returns bit-identical
+// candidates to the single-process sharded index at any replica count.
+// Replica selection per attempt combines the health state machine with an
+// EWMA latency score; hedged duplicates race distinct replicas. When a
+// whole replica set is missing the merge still returns the surviving
+// partitions' exact results, flagged Partial.
+//
+// The partition→replica assignment is a versioned Map: ApplyMap installs a
+// newer epoch atomically and drains queries still on the old one. Routed
+// ingest (POST /ingest, Ingest) forwards deltas to the owning partition's
+// primary and fans them to its replicas. Safe for concurrent use; Close
+// stops the health prober.
 type Router struct {
 	model *core.EmbLookup
-	nodes []*nodeClient
 	opts  RouterOptions
 	// MaxK bounds the per-request candidate budget of the HTTP front-end.
 	MaxK int
@@ -93,8 +121,30 @@ type Router struct {
 	// GET /debug/slowlog.
 	SlowLog *obs.SlowLog
 
-	partials atomic.Int64
-	latency  *obs.Histogram // end-to-end routed lookup latency
+	view atomic.Pointer[routerView]
+
+	// mapMu serializes ApplyMap; clients persists nodeClients across
+	// epochs keyed by URL, so health state and latency EWMAs survive a map
+	// change and a readmitted URL keeps its history.
+	mapMu   sync.Mutex
+	clients map[string]*nodeClient
+
+	// Routed-ingest state: the mutex orders batches (and lets a control
+	// plane exclude ingest during a cutover via WithIngestLock), the log
+	// replays deltas onto restarted or rebalanced replicas, and graphMu
+	// guards the router's own graph copy, which grows so /lookup can
+	// resolve ingested entity labels.
+	ingestMu    sync.Mutex
+	ingestLog   []core.IngestItem
+	ingestCount atomic.Int64
+	graphMu     sync.RWMutex
+
+	reg           *obs.Registry
+	partials      atomic.Int64
+	latency       *obs.Histogram // end-to-end routed lookup latency
+	mapSwaps      *obs.Counter
+	ingestRouted  *obs.Counter
+	ingestFanFail *obs.Counter
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -102,49 +152,159 @@ type Router struct {
 }
 
 // NewRouter builds a coordinator over the given node base URLs, one per
-// partition in partition order. model must be the full (unpartitioned)
-// trained model the nodes were partitioned from. The background health
-// prober starts immediately; call Close to stop it.
+// partition in partition order — the unreplicated compatibility shape,
+// equivalent to NewRouterWithMap(model, SingleMap(nodeURLs), opts). model
+// must be the full (unpartitioned) trained model the nodes were partitioned
+// from. The background health prober starts immediately; call Close to
+// stop it.
 func NewRouter(model *core.EmbLookup, nodeURLs []string, opts RouterOptions) (*Router, error) {
 	if len(nodeURLs) == 0 {
 		return nil, fmt.Errorf("cluster: router needs at least one node URL")
 	}
+	return NewRouterWithMap(model, SingleMap(nodeURLs), opts)
+}
+
+// NewRouterWithMap builds a coordinator serving the given cluster map —
+// the replicated entry point. Later maps arrive through ApplyMap.
+func NewRouterWithMap(model *core.EmbLookup, m Map, opts RouterOptions) (*Router, error) {
 	opts.fill()
 	r := &Router{
-		model: model,
-		opts:  opts,
-		MaxK:  1000,
-		stop:  make(chan struct{}),
+		model:   model,
+		opts:    opts,
+		MaxK:    1000,
+		clients: make(map[string]*nodeClient),
+		stop:    make(chan struct{}),
 	}
 	reg := opts.Registry
 	if reg == nil {
 		reg = obs.Default()
 	}
+	r.reg = reg
 	r.latency = reg.Histogram("emblookup_cluster_lookup_seconds")
+	r.mapSwaps = reg.Counter("emblookup_cluster_map_transitions_total")
+	r.ingestRouted = reg.Counter("emblookup_cluster_ingest_routed_total")
+	r.ingestFanFail = reg.Counter("emblookup_cluster_ingest_fanout_failures_total")
 	reg.CounterFunc("emblookup_cluster_partial_responses_total", func() float64 {
 		return float64(r.partials.Load())
 	})
 	reg.GaugeFunc("emblookup_cluster_healthy_nodes", func() float64 {
 		n := 0
-		for _, c := range r.nodes {
+		for _, c := range r.viewClients() {
 			if c.healthy() {
 				n++
 			}
 		}
 		return float64(n)
 	})
-	for i, u := range nodeURLs {
-		n := newNodeClient(i, u, opts.FailThreshold)
-		n.observe(reg)
-		r.nodes = append(r.nodes, n)
+	reg.GaugeFunc("emblookup_cluster_map_epoch", func() float64 {
+		return float64(r.Epoch())
+	})
+	if err := r.ApplyMap(m); err != nil {
+		return nil, err
 	}
 	r.wg.Add(1)
 	go r.probeLoop()
 	return r, nil
 }
 
+// ApplyMap installs a newer cluster map: the routing view swaps atomically,
+// new queries land on the new assignment immediately, and the call returns
+// only after every query still running on the old assignment has finished —
+// at which point the control plane may stop nodes the new map dropped.
+// Node clients are reused across epochs by URL, so health state and latency
+// history survive. Maps at or below the current epoch are rejected.
+func (r *Router) ApplyMap(m Map) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	m = m.Clone()
+	r.mapMu.Lock()
+	old := r.view.Load()
+	if old != nil && m.Epoch <= old.epoch {
+		r.mapMu.Unlock()
+		return fmt.Errorf("cluster: map epoch %d is not newer than the current %d: %w", m.Epoch, old.epoch, ErrStaleEpoch)
+	}
+	nv := &routerView{epoch: m.Epoch, m: m}
+	for p, urls := range m.Replicas {
+		rs := &replicaSet{partition: p}
+		for j, u := range urls {
+			c := r.clients[u]
+			if c == nil {
+				c = newNodeClient(p, j, u, r.opts.FailThreshold)
+				c.observe(r.reg)
+				r.clients[u] = c
+			}
+			rs.replicas = append(rs.replicas, c)
+		}
+		nv.parts = append(nv.parts, rs)
+	}
+	r.view.Store(nv)
+	r.mapMu.Unlock()
+	if old != nil {
+		// Drain: queries pin their view, so when the old view's refcount
+		// reaches zero nothing references the old assignment anymore.
+		old.retired.Store(true)
+		for old.inflight.Load() > 0 {
+			time.Sleep(200 * time.Microsecond)
+		}
+		r.mapSwaps.Inc()
+	}
+	return nil
+}
+
+// acquireView pins the current view for one request. The retry loop closes
+// the race with a concurrent ApplyMap: if the view retired between load and
+// pin, the pin is released and the new view is taken instead — so the drain
+// in ApplyMap can never miss a request.
+func (r *Router) acquireView() *routerView {
+	for {
+		v := r.view.Load()
+		v.inflight.Add(1)
+		if !v.retired.Load() {
+			return v
+		}
+		v.inflight.Add(-1)
+	}
+}
+
+func (v *routerView) release() { v.inflight.Add(-1) }
+
+// viewClients returns the distinct node clients of the current view in
+// partition-major, replica-minor order (URLs are unique per map, so no
+// dedupe is needed).
+func (r *Router) viewClients() []*nodeClient {
+	v := r.view.Load()
+	if v == nil {
+		return nil
+	}
+	var out []*nodeClient
+	for _, rs := range v.parts {
+		out = append(out, rs.replicas...)
+	}
+	return out
+}
+
+// Epoch returns the epoch of the map currently being served.
+func (r *Router) Epoch() int64 {
+	if v := r.view.Load(); v != nil {
+		return v.epoch
+	}
+	return 0
+}
+
+// Map returns a copy of the cluster map currently being served.
+func (r *Router) Map() Map {
+	if v := r.view.Load(); v != nil {
+		return v.m.Clone()
+	}
+	return Map{}
+}
+
 // probeLoop periodically re-probes unhealthy nodes so a recovered node
-// rejoins the scatter without waiting for traffic to be risked on it.
+// rejoins the scatter without waiting for traffic to be risked on it. The
+// probe checks the node's /healthz *report*, not just its status code: a
+// node must claim the partition the view assigns it and have applied the
+// routed ingest watermark before it is readmitted.
 func (r *Router) probeLoop() {
 	defer r.wg.Done()
 	t := time.NewTicker(r.opts.ProbeInterval)
@@ -154,9 +314,20 @@ func (r *Router) probeLoop() {
 		case <-r.stop:
 			return
 		case <-t.C:
-			for _, n := range r.nodes {
-				if !n.healthy() {
-					n.probe(context.Background(), r.opts.ProbeTimeout)
+			v := r.view.Load()
+			if v == nil {
+				continue
+			}
+			owner := len(v.parts) - 1
+			for _, rs := range v.parts {
+				expect := probeExpect{partition: rs.partition}
+				if rs.partition == owner {
+					expect.minApplied = r.ingestCount.Load()
+				}
+				for _, c := range rs.replicas {
+					if !c.healthy() {
+						c.probe(context.Background(), r.opts.ProbeTimeout, expect)
+					}
 				}
 			}
 		}
@@ -170,7 +341,12 @@ func (r *Router) Close() {
 }
 
 // Partitions returns the cluster size P.
-func (r *Router) Partitions() int { return len(r.nodes) }
+func (r *Router) Partitions() int {
+	if v := r.view.Load(); v != nil {
+		return len(v.parts)
+	}
+	return 0
+}
 
 // Result is one routed lookup: the merged candidates plus the degradation
 // flags — Partial is true when at least one partition contributed nothing,
@@ -205,7 +381,7 @@ func (r *Router) LookupTrace(tr *obs.Trace, q string, k int) Result {
 }
 
 // BulkLookup embeds the batch once locally and scatters it to every
-// healthy node in one partition-scoped request per node.
+// partition's replica set in one partition-scoped request per partition.
 func (r *Router) BulkLookup(queries []string, k int) BulkResult {
 	return r.BulkLookupTrace(nil, queries, k)
 }
@@ -230,25 +406,27 @@ func (r *Router) BulkLookupTrace(tr *obs.Trace, queries []string, k int) BulkRes
 	embs := r.model.EmbedAll(queries, r.opts.Parallelism)
 	sp.End()
 
-	perNode := make([][][]server.PartitionHit, len(r.nodes))
-	errs := make([]error, len(r.nodes))
-	skipped := make([]bool, len(r.nodes))
+	v := r.acquireView()
+	defer v.release()
+	parts := v.parts
+	perPart := make([][][]server.PartitionHit, len(parts))
+	errs := make([]error, len(parts))
+	skipped := make([]bool, len(parts))
 	var wg sync.WaitGroup
-	for i, n := range r.nodes {
-		if !n.healthy() {
+	for i, rs := range parts {
+		if !rs.anyHealthy() {
 			skipped[i] = true
 			continue
 		}
 		wg.Add(1)
-		go func(i int, n *nodeClient) {
+		go func(i int, rs *replicaSet) {
 			defer wg.Done()
-			perNode[i], errs[i] = n.search(context.Background(), tr, fetch, embs,
-				r.opts.Timeout, r.opts.HedgeAfter, r.opts.Retry)
-		}(i, n)
+			perPart[i], errs[i] = rs.search(context.Background(), tr, fetch, embs, r.opts)
+		}(i, rs)
 	}
 	wg.Wait()
 
-	for i := range r.nodes {
+	for i := range parts {
 		if skipped[i] || errs[i] != nil {
 			out.Failed = append(out.Failed, i)
 		}
@@ -262,9 +440,9 @@ func (r *Router) BulkLookupTrace(tr *obs.Trace, queries []string, k int) BulkRes
 	var all []server.PartitionHit
 	for qi := range queries {
 		all = all[:0]
-		for i := range r.nodes {
-			if perNode[i] != nil {
-				all = append(all, perNode[i][qi]...)
+		for i := range parts {
+			if perPart[i] != nil {
+				all = append(all, perPart[i][qi]...)
 			}
 		}
 		out.PerQuery[qi] = mergeHits(all, fetch, k)
@@ -314,14 +492,22 @@ func mergeHits(all []server.PartitionHit, fetch, k int) []lookup.Candidate {
 
 // RouterStats is the coordinator's observability snapshot: per-node health
 // and traffic, the cluster-wide totals aggregated across nodes, and the
-// routed-lookup latency quantiles.
+// routed-lookup latency quantiles. Nodes lists every replica of the current
+// map in partition-major order, so an R=1 cluster's Nodes[i] is partition
+// i's node, exactly the PR-4 shape.
 type RouterStats struct {
-	Partitions       int                 `json:"partitions"`
-	Healthy          int                 `json:"healthy"`
-	PartialResponses int64               `json:"partialResponses"`
-	Totals           RouterTotals        `json:"totals"`
-	Latency          *obs.LatencySummary `json:"latency,omitempty"`
-	Nodes            []NodeStats         `json:"nodes"`
+	Partitions int   `json:"partitions"`
+	Epoch      int64 `json:"epoch"`
+	// Healthy counts healthy nodes; HealthyPartitions counts partitions
+	// with at least one healthy replica (the number that decides whether
+	// responses are partial).
+	Healthy           int                 `json:"healthy"`
+	HealthyPartitions int                 `json:"healthyPartitions"`
+	PartialResponses  int64               `json:"partialResponses"`
+	IngestRouted      int64               `json:"ingestRouted"`
+	Totals            RouterTotals        `json:"totals"`
+	Latency           *obs.LatencySummary `json:"latency,omitempty"`
+	Nodes             []NodeStats         `json:"nodes"`
 }
 
 // RouterTotals sums the per-node traffic counters across the cluster.
@@ -336,19 +522,30 @@ type RouterTotals struct {
 
 // Stats snapshots per-node health and traffic counters.
 func (r *Router) Stats() RouterStats {
-	st := RouterStats{Partitions: len(r.nodes), PartialResponses: r.partials.Load()}
-	for _, n := range r.nodes {
-		ns := n.stats()
-		if ns.Healthy {
-			st.Healthy++
+	v := r.view.Load()
+	st := RouterStats{PartialResponses: r.partials.Load(), IngestRouted: r.ingestCount.Load()}
+	if v == nil {
+		return st
+	}
+	st.Partitions = len(v.parts)
+	st.Epoch = v.epoch
+	for _, rs := range v.parts {
+		if rs.anyHealthy() {
+			st.HealthyPartitions++
 		}
-		st.Totals.Requests += ns.Requests
-		st.Totals.Failures += ns.Failures
-		st.Totals.Retries += ns.Retries
-		st.Totals.Hedges += ns.Hedges
-		st.Totals.HedgeWins += ns.HedgeWins
-		st.Totals.HealthTransitions += ns.HealthTransitions
-		st.Nodes = append(st.Nodes, ns)
+		for _, c := range rs.replicas {
+			ns := c.stats()
+			if ns.Healthy {
+				st.Healthy++
+			}
+			st.Totals.Requests += ns.Requests
+			st.Totals.Failures += ns.Failures
+			st.Totals.Retries += ns.Retries
+			st.Totals.Hedges += ns.Hedges
+			st.Totals.HedgeWins += ns.HedgeWins
+			st.Totals.HealthTransitions += ns.HealthTransitions
+			st.Nodes = append(st.Nodes, ns)
+		}
 	}
 	if sum := r.latency.Summary(); sum.Count > 0 {
 		st.Latency = &sum
@@ -370,14 +567,17 @@ type RouteResponse struct {
 }
 
 // Handler returns the router's HTTP front-end: the same /lookup, /bulk,
-// /stats, /healthz surface as a single node, answered by the cluster.
+// /stats, /healthz, /ingest surface as a single node, answered by the
+// cluster.
 func (r *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /lookup", r.handleLookup)
 	mux.HandleFunc("POST /bulk", r.handleBulk)
 	mux.HandleFunc("GET /stats", r.handleStats)
+	mux.HandleFunc("POST /ingest", r.handleIngest)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(server.HealthzResponse{Status: "ok", Epoch: r.Epoch(), IngestApplied: r.ingestCount.Load()})
 	})
 	if r.Metrics != nil {
 		mux.Handle("GET /metrics", r.Metrics.Handler())
@@ -401,6 +601,8 @@ func (r *Router) parseK(req *http.Request) (int, error) {
 }
 
 func (r *Router) hits(cands []lookup.Candidate) []server.Hit {
+	r.graphMu.RLock()
+	defer r.graphMu.RUnlock()
 	g := r.model.Graph()
 	hits := make([]server.Hit, len(cands))
 	for i, c := range cands {

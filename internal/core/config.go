@@ -94,6 +94,14 @@ type Config struct {
 	// survivors. Requires Compress; incompatible with IVF.
 	FastScan bool
 
+	// Rerank, when > 1, makes IVF-PQ queries over-fetch Rerank×k candidates
+	// from the compressed ADC scan and decide the final top-k by exact
+	// distances against the raw embedding matrix. With a v4 artifact the raw
+	// vectors are an mmap'd section paged in on demand, so the fix for the
+	// large-scale recall@10 sag costs pages only for the candidate rows a
+	// query actually touches. Requires IVF and Compress; 0 disables.
+	Rerank int
+
 	// IndexAliases additionally embeds every alias as its own index row
 	// (Section III-C notes this trades storage for accuracy).
 	IndexAliases bool
@@ -181,6 +189,12 @@ func (c Config) Validate() error {
 		if 2*c.PQ.M > quant.MaxM4 {
 			return fmt.Errorf("core: fast-scan sub-quantizer count %d exceeds %d", 2*c.PQ.M, quant.MaxM4)
 		}
+	}
+	if c.Rerank < 0 {
+		return fmt.Errorf("core: Rerank must be >= 0, got %d", c.Rerank)
+	}
+	if c.Rerank > 1 && !(c.IVF && c.Compress) {
+		return fmt.Errorf("core: Rerank requires IVF and Compress (exact re-rank only applies to IVF-PQ)")
 	}
 	if c.Kernel%2 == 0 {
 		return fmt.Errorf("core: kernel size must be odd for same-padding, got %d", c.Kernel)

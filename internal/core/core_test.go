@@ -443,6 +443,29 @@ func TestValidateNewOptions(t *testing.T) {
 	}
 }
 
+func TestValidateRerank(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Rerank = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative Rerank should fail validation")
+	}
+	cfg = DefaultConfig()
+	cfg.Rerank = 8
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("Rerank without IVF+Compress should fail validation")
+	}
+	cfg.IVF, cfg.Compress = true, true
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("valid rerank config rejected: %v", err)
+	}
+	// Rerank ≤ 1 is a no-op and needs no index preconditions.
+	cfg = DefaultConfig()
+	cfg.Rerank = 1
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("Rerank=1 rejected: %v", err)
+	}
+}
+
 func TestWithAliasRows(t *testing.T) {
 	g, e := fixture(t)
 	withA, err := e.WithAliasRows()

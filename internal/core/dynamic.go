@@ -29,6 +29,16 @@ func (e *EmbLookup) rowEntity(row int32) kg.EntityID {
 	return id
 }
 
+// RowEntity maps an index row id to its entity, including rows appended
+// live through AddMention. Partition nodes use it to translate search hits
+// into globally meaningful entity ids even for delta rows.
+func (e *EmbLookup) RowEntity(row int32) kg.EntityID {
+	if e.extra == nil || int(row) < len(e.rows) {
+		return e.rows[row]
+	}
+	return e.rowEntity(row)
+}
+
 // WithDynamicIndex returns a sibling service sharing this model's weights
 // whose index accepts live mutation: AddMention inserts new index rows and
 // DeleteRow tombstones existing ones while concurrent Lookup traffic keeps

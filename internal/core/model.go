@@ -80,6 +80,16 @@ func (e *EmbLookup) Config() Config { return e.cfg }
 // Graph returns the knowledge graph the index covers.
 func (e *EmbLookup) Graph() *kg.Graph { return e.graph }
 
+// WithGraph returns a sibling service resolving entities against g — a
+// graph with identical entity numbering, normally a Clone of this model's
+// graph. A router or replica node uses it to grow its own copy through
+// ingest without mutating the graph shared with other nodes.
+func (e *EmbLookup) WithGraph(g *kg.Graph) *EmbLookup {
+	clone := *e
+	clone.graph = g
+	return &clone
+}
+
 // Index exposes the underlying nearest-neighbor index (for size reporting
 // and the compression experiments).
 func (e *EmbLookup) Index() index.Index { return e.ix }

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"emblookup/internal/artifact"
+	"emblookup/internal/index"
 	"emblookup/internal/kg"
 )
 
@@ -17,12 +18,14 @@ import (
 var v4Variants = []struct {
 	name                    string
 	ivf, compress, fastscan bool
+	rerank                  int
 }{
-	{"flat", false, false, false},
-	{"pq", false, true, false},
-	{"fastscan", false, true, true},
-	{"ivf-flat", true, false, false},
-	{"ivf-pq", true, true, false},
+	{"flat", false, false, false, 0},
+	{"pq", false, true, false, 0},
+	{"fastscan", false, true, true, 0},
+	{"ivf-flat", true, false, false, 0},
+	{"ivf-pq", true, true, false, 0},
+	{"ivf-pq-rerank", true, true, false, 8},
 }
 
 func sameLookups(t *testing.T, tag string, want, got *EmbLookup) {
@@ -52,6 +55,7 @@ func TestV4MmapAttachBitIdentity(t *testing.T) {
 	base.cfg.IVFNProbe = 64
 	for _, v := range v4Variants {
 		base.cfg.IVF, base.cfg.Compress, base.cfg.FastScan = v.ivf, v.compress, v.fastscan
+		base.cfg.Rerank = v.rerank
 		if err := base.buildIndex(); err != nil {
 			t.Fatalf("%s: rebuild: %v", v.name, err)
 		}
@@ -74,6 +78,15 @@ func TestV4MmapAttachBitIdentity(t *testing.T) {
 		prov := mmapped.IndexProvenance()
 		if prov.Source != "loaded" {
 			t.Fatalf("%s: provenance %q, want loaded", v.name, prov.Source)
+		}
+		if v.rerank > 1 {
+			ivfIx, ok := mmapped.Index().(*index.IVF)
+			if !ok {
+				t.Fatalf("%s: loaded index is %T, want *index.IVF", v.name, mmapped.Index())
+			}
+			if f, vecs := ivfIx.Rerank(); f != v.rerank || vecs == nil {
+				t.Fatalf("%s: loaded rerank = (%d, %v), want (%d, non-nil)", v.name, f, vecs, v.rerank)
+			}
 		}
 		if runtime.GOOS == "linux" && prov.Backing != "mmap" {
 			t.Fatalf("%s: backing %q, want mmap", v.name, prov.Backing)

@@ -68,7 +68,8 @@ type wireIndex struct {
 	NProbe    int           // ivf-flat, ivf-pq
 	Lists     [][]int32     // ivf-flat, ivf-pq
 	ListCodes [][]byte      // ivf-pq
-	Vectors   wireMatrix    // ivf-flat
+	Vectors   wireMatrix    // ivf-flat; ivf-pq re-rank vectors when Rerank > 1
+	Rerank    int           // ivf-pq exact re-rank over-fetch factor (0 = off)
 }
 
 func toWire(m *mathx.Matrix) wireMatrix {
@@ -128,6 +129,10 @@ func (e *EmbLookup) indexToWire() (*wireIndex, error) {
 			w.Kind = "ivf-pq"
 			w.Quant = quantizerToWire(q)
 			w.ListCodes = t.ListCodes()
+			if rr, rv := t.Rerank(); rv != nil {
+				w.Rerank = rr
+				w.Vectors = toWire(rv)
+			}
 		} else {
 			w.Kind = "ivf-flat"
 			w.Vectors = toWire(t.Vectors())
@@ -153,7 +158,12 @@ func indexFromWire(w *wireIndex, g *kg.Graph) (index.Index, []kg.EntityID, error
 	case "ivf-flat":
 		ix, err = index.NewIVFFromParts(fromWire(w.Coarse), w.NProbe, w.Lists, fromWire(w.Vectors), nil, nil)
 	case "ivf-pq":
-		ix, err = index.NewIVFFromParts(fromWire(w.Coarse), w.NProbe, w.Lists, nil, quantizerFromWire(w.Quant), w.ListCodes)
+		var ivf *index.IVF
+		ivf, err = index.NewIVFFromParts(fromWire(w.Coarse), w.NProbe, w.Lists, nil, quantizerFromWire(w.Quant), w.ListCodes)
+		if err == nil && w.Rerank > 1 {
+			err = ivf.SetRerank(w.Rerank, fromWire(w.Vectors))
+		}
+		ix = ivf
 	default:
 		return nil, nil, fmt.Errorf("core: unknown index artifact kind %q", w.Kind)
 	}

@@ -40,7 +40,9 @@ import (
 //	coarse          f32    ivf-*: coarse centroid matrix
 //	list_offsets    i64    ivf-*: prefix offsets into list_ids (nlist+1)
 //	list_ids        i32    ivf-*: concatenated inverted lists
-//	vectors         f32    ivf-flat: the stored vectors
+//	vectors         f32    ivf-flat: the stored vectors; also written for
+//	                       ivf-pq when Config.Rerank > 1 (exact re-rank
+//	                       pages candidate rows in from this mmap'd view)
 //	list_codes      u8     ivf-pq: concatenated per-list residual codes
 //
 // Every view handed to the index constructors is cap-clipped, so the
@@ -63,6 +65,9 @@ type metaIndexV4 struct {
 	Kind   string       `json:"kind"` // flat | pq | fastscan | ivf-flat | ivf-pq
 	NProbe int          `json:"nprobe,omitempty"`
 	Quant  *metaQuantV4 `json:"quant,omitempty"`
+	// Rerank is the ivf-pq exact re-rank over-fetch factor; when > 1 the
+	// artifact also carries a "vectors" section with the raw embeddings.
+	Rerank int `json:"rerank,omitempty"`
 }
 
 type metaQuantV4 struct {
@@ -186,6 +191,10 @@ func (e *EmbLookup) indexSections(aw *artifact.Writer) (*metaIndexV4, error) {
 				codes = append(codes, c...)
 			}
 			aw.AddBytes("list_codes", codes)
+			if rr, rv := t.Rerank(); rv != nil {
+				mi.Rerank = rr
+				aw.AddFloat32s("vectors", rv.Data, rv.Rows, rv.Cols)
+			}
 		} else {
 			mi.Kind = "ivf-flat"
 			v := t.Vectors()
@@ -344,7 +353,20 @@ func ivfFromSections(af *artifact.File, mi *metaIndexV4) (index.Index, error) {
 		lo, hi := offsets[i]*int64(q.M), offsets[i+1]*int64(q.M)
 		codes[i] = flat[lo:hi:hi]
 	}
-	return index.NewIVFFromParts(coarse, mi.NProbe, lists, nil, q, codes)
+	ivf, err := index.NewIVFFromParts(coarse, mi.NProbe, lists, nil, q, codes)
+	if err != nil {
+		return nil, err
+	}
+	if mi.Rerank > 1 {
+		vectors, err := sectionMatrix(af, "vectors")
+		if err != nil {
+			return nil, fmt.Errorf("core: IVF-PQ artifact declares rerank=%d: %w", mi.Rerank, err)
+		}
+		if err := ivf.SetRerank(mi.Rerank, vectors); err != nil {
+			return nil, err
+		}
+	}
+	return ivf, nil
 }
 
 // readV4 assembles a model from a parsed artifact. Weight matrices, the

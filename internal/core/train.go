@@ -610,6 +610,14 @@ func (e *EmbLookup) buildIndex() error {
 		if err != nil {
 			return fmt.Errorf("core: building IVF index: %w", err)
 		}
+		if e.cfg.Rerank > 1 && e.cfg.Compress {
+			// The embedding matrix is in memory anyway at build time; the
+			// artifact writer persists it as the "vectors" section so a later
+			// attach re-ranks against the mmap'd view instead.
+			if err := ivf.SetRerank(e.cfg.Rerank, m); err != nil {
+				return fmt.Errorf("core: enabling IVF re-rank: %w", err)
+			}
+		}
 		e.ix = ivf
 	case e.cfg.Compress && e.cfg.FastScan:
 		fsIx, err := index.NewFastScan(m, quant.Config4(pqCfg))

@@ -1,6 +1,8 @@
 package index
 
 import (
+	"fmt"
+
 	"emblookup/internal/mathx"
 	"emblookup/internal/par"
 	"emblookup/internal/quant"
@@ -55,6 +57,13 @@ type IVF struct {
 	// Compressed storage (IVF-PQ).
 	pq    *quant.ProductQuantizer
 	codes [][]byte // per-list codes, parallel to lists
+
+	// Exact re-rank (IVF-PQ only): when rvecs is set, the ADC pass gathers
+	// k×rerank candidates and the final top-k is decided by exact distances
+	// against the raw vectors — typically an mmap'd view of the embedding
+	// matrix, paged in on demand, so the resident cost stays the code book.
+	rerank int
+	rvecs  *mathx.Matrix
 }
 
 // NewIVF builds an inverted-file index over the rows of data. The coarse
@@ -132,6 +141,32 @@ func (ix *IVF) SetNProbe(n int) {
 	ix.nprobe = n
 }
 
+// SetRerank enables (factor > 1) or disables (factor <= 1) exact re-ranking
+// for an IVF-PQ index: the ADC scan over-fetches k×factor candidates and the
+// final top-k is decided by exact squared-L2 distances against vectors, which
+// must hold the original data row-aligned with the index ids (for an mmap'd
+// artifact this is the zero-copy "vectors" section — pages fault in only for
+// the few candidate rows each query touches). Not safe to call concurrently
+// with Search.
+func (ix *IVF) SetRerank(factor int, vectors *mathx.Matrix) error {
+	if factor <= 1 || vectors == nil {
+		ix.rerank, ix.rvecs = 0, nil
+		return nil
+	}
+	if ix.pq == nil {
+		return fmt.Errorf("index: rerank requires IVF-PQ (IVF-Flat distances are already exact)")
+	}
+	if vectors.Rows != ix.n || vectors.Cols != ix.dim {
+		return fmt.Errorf("index: rerank vectors are %dx%d, index is %dx%d", vectors.Rows, vectors.Cols, ix.n, ix.dim)
+	}
+	ix.rerank, ix.rvecs = factor, vectors
+	return nil
+}
+
+// Rerank returns the re-rank over-fetch factor and raw-vector matrix, or
+// (0, nil) when re-ranking is disabled.
+func (ix *IVF) Rerank() (int, *mathx.Matrix) { return ix.rerank, ix.rvecs }
+
 // Len returns the number of stored vectors.
 func (ix *IVF) Len() int { return ix.n }
 
@@ -172,8 +207,17 @@ func (ix *IVF) SearchAppendWith(s *Scratch, q []float32, k int, dst []Result) []
 		probes.push(int32(c), mathx.SquaredL2(q, ix.coarse.Row(c)))
 	}
 	s.probeBuf = probes.appendSorted(s.probeBuf)
+	// With re-ranking on, the ADC pass over-fetches into the probe heap
+	// (free once probeBuf holds the ranking) and the exact pass below
+	// decides the final order; otherwise ADC order is final.
+	rerank := ix.pq != nil && ix.rvecs != nil && ix.rerank > 1
 	t := &s.res
-	t.reset(k)
+	if rerank {
+		t = probes
+		t.reset(k * ix.rerank)
+	} else {
+		t.reset(k)
+	}
 	for _, pr := range s.probeBuf {
 		li := int(pr.ID)
 		if ix.pq == nil {
@@ -203,5 +247,16 @@ func (ix *IVF) SearchAppendWith(s *Scratch, q []float32, k int, dst []Result) []
 			t.push(id, d)
 		}
 	}
-	return t.appendSorted(dst)
+	if !rerank {
+		return t.appendSorted(dst)
+	}
+	// Exact re-rank: true distances over the ADC candidates, pushed through
+	// a fresh top-k under the canonical (Dist, ID) order — deterministic
+	// regardless of the ADC pass's candidate order.
+	final := &s.res
+	final.reset(k)
+	for _, r := range t.heap {
+		final.push(r.ID, mathx.SquaredL2(q, ix.rvecs.Row(int(r.ID))))
+	}
+	return final.appendSorted(dst)
 }

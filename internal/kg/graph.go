@@ -90,6 +90,26 @@ func NewGraph(name string) *Graph {
 	return &Graph{Name: name, byMention: make(map[string][]EntityID)}
 }
 
+// Clone returns an independently growable copy of the graph: appending
+// entities or facts to the clone never reallocates into (or reads from)
+// the original's slices, and the clone gets its own lookup indexes. The
+// per-entity alias and type slices are shared read-only — AddEntity only
+// ever appends new Entity values, so both sides stay safe as long as
+// callers never mutate an existing entity in place. Replicated serving
+// uses this to give every node (and the router's control plane) a graph
+// it can grow through ingest without coordinating with its siblings.
+func (g *Graph) Clone() *Graph {
+	ng := &Graph{
+		Name:     g.Name,
+		Entities: append([]Entity(nil), g.Entities...),
+		Types:    append([]Type(nil), g.Types...),
+		Props:    append([]Property(nil), g.Props...),
+		Facts:    append([]Fact(nil), g.Facts...),
+	}
+	ng.Reindex()
+	return ng
+}
+
 // AddType appends a type and returns its ID.
 func (g *Graph) AddType(name string, parent TypeID) TypeID {
 	id := TypeID(len(g.Types))

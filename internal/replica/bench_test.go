@@ -1,0 +1,39 @@
+package replica
+
+import (
+	"fmt"
+	"testing"
+
+	"emblookup/internal/obs"
+)
+
+// BenchmarkReplicaLookup times the routed lookup through replicated local
+// clusters: P=2 with one replica per partition (the PR-4 shape) against
+// P=2 with a replica pair, so the per-lookup cost of replica selection —
+// health filter plus EWMA scoring — shows up next to the plain scatter.
+// The full replica scenarios (degraded-replica hedging, failover,
+// rebalance under load) are snapshotted by `benchkg -bench-replica` into
+// BENCH_replica.json and diffed by `make bench-compare`.
+func BenchmarkReplicaLookup(b *testing.B) {
+	g, m := testModel(b)
+	qs := testQueries(g, 64)
+	for _, shape := range []struct{ p, r int }{{2, 1}, {2, 2}} {
+		b.Run(fmt.Sprintf("P%dR%d", shape.p, shape.r), func(b *testing.B) {
+			opts := fastOptions()
+			opts.Replicas = shape.r
+			opts.Router.Registry = obs.New()
+			c, err := Start(m, shape.p, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			c.Router.Lookup(qs[0], 10) // warm connections
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if r := c.Router.Lookup(qs[i%len(qs)], 10); r.Partial {
+					b.Fatal("partial response from a fully healthy cluster")
+				}
+			}
+		})
+	}
+}

@@ -105,7 +105,6 @@ func (s *Server) handlePartitionSearch(w http.ResponseWriter, r *http.Request) {
 		tr = obs.NewTraceWith(id)
 	}
 	start := time.Now()
-	rows := s.model.IndexRows()
 	sp := tr.Start("search")
 	res := index.BatchSearch(s.model.Index(), req.Queries, req.K, 0)
 	sp.End()
@@ -116,7 +115,9 @@ func (s *Server) handlePartitionSearch(w http.ResponseWriter, r *http.Request) {
 	for i, rs := range res {
 		hits := make([]PartitionHit, len(rs))
 		for j, h := range rs {
-			hits[j] = PartitionHit{Row: lo + h.ID, Dist: h.Dist, Entity: int32(rows[h.ID])}
+			// RowEntity (not the trained row table) so rows appended live
+			// through routed ingest translate too.
+			hits[j] = PartitionHit{Row: lo + h.ID, Dist: h.Dist, Entity: int32(s.model.RowEntity(h.ID))}
 		}
 		resp.Results[i] = hits
 	}

@@ -5,7 +5,11 @@
 //	GET /lookup?q=<query>&k=<n>   → JSON candidate list
 //	GET /bulk  (POST body: one query per line) → NDJSON results
 //	GET /stats                    → index, graph, and serving statistics
-//	GET /healthz                  → 200 ok
+//	GET /healthz                  → 200 + JSON liveness report: partition
+//	                                assignment, cluster-map epoch, applied
+//	                                ingest count — enough for a router probe
+//	                                to detect a stale assignment, not just a
+//	                                dead process
 //	POST /partition/search        → partition-scoped batch search (only
 //	                                with WithPartition — see internal/cluster)
 //	GET /debug/pprof/...          → profiling (only with WithPprof)
@@ -29,6 +33,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"emblookup/internal/core"
@@ -47,6 +52,10 @@ type Server struct {
 	pprof     bool
 	partition *PartitionInfo
 	ingest    *core.Ingestor
+	// epoch is the cluster-map version this node last heard from the
+	// control plane; /healthz reports it so probes can tell a live node
+	// with a stale view from a healthy one.
+	epoch atomic.Int64
 
 	reg          *obs.Registry
 	mountMetrics bool
@@ -111,6 +120,13 @@ func WithIngest(in *core.Ingestor) Option {
 	return func(s *Server) { s.ingest = in }
 }
 
+// SetEpoch records the cluster-map epoch the control plane last pushed to
+// this node; /healthz reports it. Safe to call concurrently with serving.
+func (s *Server) SetEpoch(e int64) { s.epoch.Store(e) }
+
+// Epoch returns the last recorded cluster-map epoch (0 when standalone).
+func (s *Server) Epoch() int64 { return s.epoch.Load() }
+
 // New builds a server over a trained model.
 func New(g *kg.Graph, model *core.EmbLookup, opts ...Option) *Server {
 	s := &Server{
@@ -153,9 +169,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /lookup", s.handleLookup)
 	mux.HandleFunc("POST /bulk", s.handleBulk)
 	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	if s.partition != nil {
 		mux.HandleFunc("POST /partition/search", s.handlePartitionSearch)
 	}
@@ -176,6 +190,27 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 	return mux
+}
+
+// HealthzResponse is the GET /healthz reply. Beyond liveness it carries
+// what a cluster probe needs to detect a *stale* node: the partition range
+// this process actually serves, the cluster-map epoch it last heard, and
+// how many ingest deltas it has applied. A router readmitting a node checks
+// these against its own view instead of trusting any 200.
+type HealthzResponse struct {
+	Status        string         `json:"status"`
+	Partition     *PartitionInfo `json:"partition,omitempty"`
+	Epoch         int64          `json:"epoch,omitempty"`
+	IngestApplied int64          `json:"ingestApplied,omitempty"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	resp := HealthzResponse{Status: "ok", Partition: s.partition, Epoch: s.epoch.Load()}
+	if s.ingest != nil {
+		resp.IngestApplied = s.ingest.Stats().Applied
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
 }
 
 // lookupOne answers one query through the serving substrate when present,
@@ -368,6 +403,30 @@ func (s *Server) handleBulk(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// DecodeIngestItems parses an ingest request body — one core.IngestItem or
+// a JSON array of them — enforcing maxItems. Shared by the single-node
+// /ingest handler and the cluster router's ingest front-end so both accept
+// the same wire shapes and apply the same bound.
+func DecodeIngestItems(body []byte, maxItems int) ([]core.IngestItem, error) {
+	var items []core.IngestItem
+	var err error
+	trimmed := bytes.TrimLeft(body, " \t\r\n")
+	if len(trimmed) > 0 && trimmed[0] == '[' {
+		err = json.Unmarshal(body, &items)
+	} else {
+		var one core.IngestItem
+		err = json.Unmarshal(body, &one)
+		items = []core.IngestItem{one}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("decoding ingest items: %v", err)
+	}
+	if len(items) > maxItems {
+		return nil, fmt.Errorf("item count exceeds limit %d", maxItems)
+	}
+	return items, nil
+}
+
 // IngestResponse is the POST /ingest reply.
 type IngestResponse struct {
 	Enqueued int               `json:"enqueued"`
@@ -390,21 +449,9 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	var items []core.IngestItem
-	trimmed := bytes.TrimLeft(body, " \t\r\n")
-	if len(trimmed) > 0 && trimmed[0] == '[' {
-		err = json.Unmarshal(body, &items)
-	} else {
-		var one core.IngestItem
-		err = json.Unmarshal(body, &one)
-		items = []core.IngestItem{one}
-	}
+	items, err := DecodeIngestItems(body, s.MaxBulkQueries)
 	if err != nil {
-		http.Error(w, fmt.Sprintf("decoding ingest items: %v", err), http.StatusBadRequest)
-		return
-	}
-	if len(items) > s.MaxBulkQueries {
-		http.Error(w, fmt.Sprintf("item count exceeds limit %d", s.MaxBulkQueries), http.StatusBadRequest)
+		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	for _, it := range items {

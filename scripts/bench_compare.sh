@@ -2,7 +2,7 @@
 # bench_compare.sh — regenerate the benchmark snapshots into a scratch
 # directory and diff them against the committed BENCH_lookup.json /
 # BENCH_serve.json / BENCH_build.json / BENCH_cluster.json /
-# BENCH_scale.json with cmd/benchcompare. Exits non-zero
+# BENCH_replica.json / BENCH_scale.json with cmd/benchcompare. Exits non-zero
 # when any timing metric regressed by more than 20%. `make bench-compare`
 # runs this.
 #
@@ -22,6 +22,7 @@ go run ./cmd/benchkg -bench-lookup "$tmp/BENCH_lookup.json"
 go run ./cmd/benchkg -bench-serve "$tmp/BENCH_serve.json"
 go run ./cmd/benchkg -bench-build "$tmp/BENCH_build.json" -entities 100000
 go run ./cmd/benchkg -bench-cluster "$tmp/BENCH_cluster.json"
+go run ./cmd/benchkg -bench-replica "$tmp/BENCH_replica.json"
 go run ./cmd/benchkg -bench-scale "$tmp/BENCH_scale.json" -scales 10000,100000
 
 echo "== lookup snapshot vs committed =="
@@ -35,6 +36,9 @@ go run ./cmd/benchcompare BENCH_build.json "$tmp/BENCH_build.json"
 
 echo "== cluster snapshot vs committed =="
 go run ./cmd/benchcompare BENCH_cluster.json "$tmp/BENCH_cluster.json"
+
+echo "== replica snapshot vs committed =="
+go run ./cmd/benchcompare BENCH_replica.json "$tmp/BENCH_replica.json"
 
 echo "== scale snapshot vs committed =="
 go run ./cmd/benchcompare BENCH_scale.json "$tmp/BENCH_scale.json"

@@ -76,4 +76,12 @@ echo "== cluster benchmarks (short) =="
 go test -run '^$' -bench 'BenchmarkClusterLookup' \
     -benchtime 10x ./internal/cluster
 
+echo "== replica benchmarks (short) =="
+# Routed lookup through replicated clusters (P2R1 vs P2R2): the per-lookup
+# cost of replica selection. The full replica scenarios (degraded-replica
+# hedging, failover, rebalance under load) live in BENCH_replica.json and
+# are diffed by `make bench-compare`.
+go test -run '^$' -bench 'BenchmarkReplicaLookup' \
+    -benchtime 10x ./internal/replica
+
 echo "verify: OK"
