@@ -8,6 +8,7 @@ package emblookup_test
 // leaks an allocation into the query path.
 
 import (
+	"context"
 	"path/filepath"
 	"testing"
 
@@ -16,6 +17,7 @@ import (
 	"emblookup/internal/kg"
 	"emblookup/internal/ngram"
 	"emblookup/internal/obs"
+	"emblookup/internal/tenant"
 )
 
 // Allocation budgets of the end-to-end query path with metrics enabled:
@@ -86,6 +88,49 @@ func TestLookupAllocsWithMetrics(t *testing.T) {
 		fs.Lookup("Bramonia Ridge", 10)
 	}); n > maxLookupAllocs {
 		t.Errorf("fast-scan Lookup with metrics enabled: %.1f allocs/op, budget %d", n, maxLookupAllocs)
+	}
+}
+
+// TestTenantAdmissionAllocs guards the multi-tenant admission gate: the
+// uncontended Acquire/Release pair is allocation-free, so routing a lookup
+// through a tenant costs at most one allocation over the single-tenant
+// budget (the per-request deadline context, paid only when a deadline is
+// actually set — the bare admission wrap here must stay within
+// maxLookupAllocs + 1).
+func TestTenantAdmissionAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation guard trains a model; skipped in -short")
+	}
+	_, m, _ := model(t)
+	obs.Default().SetEnabled(true)
+
+	adm := tenant.NewAdmission("alloc-guard", tenant.Limits{RatePerSec: 1e9, MaxConcurrent: 64})
+	ctx := context.Background()
+	for i := 0; i < 8; i++ {
+		if err := adm.Acquire(ctx); err != nil {
+			t.Fatal(err)
+		}
+		m.Lookup("Bramonia Ridge", 10)
+		adm.Release()
+	}
+
+	if n := testing.AllocsPerRun(200, func() {
+		if err := adm.Acquire(ctx); err != nil {
+			t.Fatal(err)
+		}
+		adm.Release()
+	}); n > 0 {
+		t.Errorf("uncontended Acquire/Release: %.1f allocs/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if err := adm.Acquire(ctx); err != nil {
+			t.Fatal(err)
+		}
+		m.Lookup("Bramonia Ridge", 10)
+		adm.Release()
+	}); n > maxLookupAllocs+1 {
+		t.Errorf("admitted lookup: %.1f allocs/op, budget %d (single-tenant %d + 1 admission)",
+			n, maxLookupAllocs+1, maxLookupAllocs)
 	}
 }
 

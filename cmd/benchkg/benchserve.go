@@ -100,6 +100,17 @@ func benchServe(path string, entities, clients int, seed uint64) error {
 	hitNs, p50, p99 := seqLat(8192, func(q string) { svHit.Lookup(q, 10) })
 	add("serve_cache_hit", map[string]float64{"ns_per_op": hitNs, "p50_us": p50, "p99_us": p99})
 
+	// Hybrid re-rank (?hybrid=1): the embedding top-k re-ordered by exact
+	// string similarity against the entity labels. Measured over the warm
+	// cache so the delta vs serve_cache_hit isolates the re-rank itself.
+	hybNs, p50, p99 := seqLat(8192, func(q string) {
+		serve.HybridRerank(q, svHit.Lookup(q, 10), g.Label)
+	})
+	add("serve_hybrid_rerank", map[string]float64{
+		"ns_per_op": hybNs, "p50_us": p50, "p99_us": p99,
+		"rerank_overhead_ns": hybNs - hitNs,
+	})
+
 	// Concurrent serving: C clients, full substrate (cache + coalescer +
 	// sharded scans), each client drawing its own Zipf stream.
 	concurrent := func(sv *serve.Serve) (qps, p50us, p99us float64, wall time.Duration) {

@@ -1,0 +1,350 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"emblookup/internal/core"
+	"emblookup/internal/kg"
+	"emblookup/internal/mathx"
+	"emblookup/internal/server"
+	"emblookup/internal/tenant"
+)
+
+// benchTenant measures multi-tenant serving (DESIGN.md §15) over real HTTP
+// on a loopback listener: three tenants attached to the same saved
+// artifacts, one of them driven abusively.
+//
+// Three phases feed the snapshot:
+//
+//   - isolated: one well-behaved tenant alone on the box — the baseline p99
+//   - mixed: clients-many concurrent clients, most of them hammering the
+//     abusive tenant past its rate limit, the rest running the same
+//     well-behaved Zipf mix as the baseline. The guarantee under test:
+//     admission throttles the abuser (throttle_rate ≫ 0) while the
+//     well-behaved tenant's p99 stays within 1.3× its isolated baseline
+//   - shed curve: offered load swept far past one small tenant's capacity;
+//     goodput (successful qps) must stay flat past saturation instead of
+//     collapsing, with the excess shed as fast 429s
+func benchTenant(path string, entities, clients int, seed uint64) error {
+	gCfg := kg.DefaultGeneratorConfig(kg.WikidataProfile, entities)
+	gCfg.Seed = seed
+	g, _ := kg.Generate(gCfg)
+
+	cfg := core.FastConfig()
+	cfg.Epochs = 4
+	m, err := core.Train(g, cfg)
+	if err != nil {
+		return fmt.Errorf("training: %w", err)
+	}
+
+	// One set of artifacts on disk; every tenant attaches the same files
+	// zero-copy, so the bench isolates the serving layers, not training.
+	dir, err := os.MkdirTemp("", "benchtenant")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	graphPath := filepath.Join(dir, "graph.bin")
+	modelPath := filepath.Join(dir, "model.bin")
+	if err := g.SaveFile(graphPath); err != nil {
+		return err
+	}
+	if err := m.SaveFileWithIndex(modelPath); err != nil {
+		return err
+	}
+
+	// The abuser's rate cap is far below what its clients will offer; the
+	// shed tenant's cap is what the shed-curve sweep saturates.
+	const abuserRate = 100
+	const shedRate = 2000
+	tcfg := tenant.Config{Tenants: []tenant.TenantConfig{
+		{Name: "alpha", Graph: graphPath, Model: modelPath, Preload: true,
+			Limits: tenant.Limits{RatePerSec: 1_000_000, MaxConcurrent: 64}},
+		{Name: "abuser", Graph: graphPath, Model: modelPath, Preload: true,
+			Limits: tenant.Limits{RatePerSec: abuserRate, MaxConcurrent: 4, QueueDepth: 8}},
+		{Name: "small", Graph: graphPath, Model: modelPath, Preload: true,
+			Limits: tenant.Limits{RatePerSec: shedRate, Burst: 100, MaxConcurrent: 4, QueueDepth: 8}},
+	}}
+	reg, err := tenant.NewRegistry(tcfg, nil)
+	if err != nil {
+		return fmt.Errorf("tenant registry: %w", err)
+	}
+	defer reg.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: server.NewTenantServer(reg).Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        4 * clients,
+		MaxIdleConnsPerHost: 4 * clients,
+	}}
+	get := func(url string) (int, error) {
+		resp, err := client.Get(url)
+		if err != nil {
+			return 0, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, nil
+	}
+
+	snap := benchSnapshot{Env: captureEnv(entities)}
+	add := func(name string, metrics map[string]float64) {
+		snap.Results = append(snap.Results, benchResult{Name: name, Metrics: metrics})
+	}
+
+	// drive runs nClients closed-loop clients against one tenant, opsEach
+	// requests each (paced by pace between sends; 0 = tight loop), and
+	// reports wall time, per-status counts, and the sorted latencies of the
+	// 200s.
+	type driven struct {
+		wall time.Duration
+		oks  []time.Duration // sorted success latencies
+		code map[int]int
+	}
+	drive := func(name string, nClients, opsEach int, pace time.Duration, seedOff uint64) (driven, error) {
+		var mu sync.Mutex
+		out := driven{code: map[int]int{}}
+		var wg sync.WaitGroup
+		errCh := make(chan error, nClients)
+		start := time.Now()
+		for c := 0; c < nClients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				rng := mathx.NewRNG(seed + seedOff + uint64(c))
+				lats := make([]time.Duration, 0, opsEach)
+				codes := map[int]int{}
+				for i := 0; i < opsEach; i++ {
+					q := g.Entities[rng.Zipf(len(g.Entities), zipfSkew)].Label
+					t0 := time.Now()
+					code, err := get(base + "/t/" + name + "/lookup?k=10&q=" + url.QueryEscape(q))
+					if err != nil {
+						errCh <- err
+						return
+					}
+					codes[code]++
+					if code == http.StatusOK {
+						lats = append(lats, time.Since(t0))
+					}
+					if pace > 0 {
+						time.Sleep(pace)
+					}
+				}
+				mu.Lock()
+				out.oks = append(out.oks, lats...)
+				for k, v := range codes {
+					out.code[k] += v
+				}
+				mu.Unlock()
+			}(c)
+		}
+		wg.Wait()
+		out.wall = time.Since(start)
+		close(errCh)
+		if err := <-errCh; err != nil {
+			return out, err
+		}
+		sort.Slice(out.oks, func(a, b int) bool { return out.oks[a] < out.oks[b] })
+		return out, nil
+	}
+
+	// medianP99 repeats a drive and takes the median of the per-run p99s —
+	// on a few thousand samples the 99th percentile is a handful of tail
+	// observations, and a single GC pause or scheduler hiccup moves it by
+	// tens of percent. The ratio under test compares medians of medians.
+	medianP99 := func(runs int, f func(i int) (driven, error)) (float64, driven, error) {
+		p99s := make([]float64, 0, runs)
+		var last driven
+		for i := 0; i < runs; i++ {
+			d, err := f(i)
+			if err != nil {
+				return 0, last, err
+			}
+			p99s = append(p99s, float64(percentile(d.oks, 0.99).Microseconds()))
+			last = d
+		}
+		sort.Float64s(p99s)
+		return p99s[len(p99s)/2], last, nil
+	}
+
+	// The well-behaved tenant runs paced — an open-ish load well inside its
+	// limits, the way a healthy tenant actually behaves — rather than a
+	// closed loop that saturates the box all by itself and turns the
+	// baseline p99 into pure self-queueing.
+	const wellPace = 2 * time.Millisecond
+	const wellOps = 1024
+
+	// Warm the caches so the isolated and mixed phases compare steady states.
+	if _, err := drive("alpha", 2, 64, 0, 10); err != nil {
+		return err
+	}
+
+	// Phase 1 — isolated baseline: a quarter of the clients, well within
+	// alpha's limits, nothing else running.
+	wellClients := max(1, clients/4)
+	isoP99, iso, err := medianP99(3, func(i int) (driven, error) {
+		return drive("alpha", wellClients, wellOps, wellPace, 100+uint64(i)*7)
+	})
+	if err != nil {
+		return err
+	}
+	add("tenant_isolated", map[string]float64{
+		"clients": float64(wellClients),
+		"qps":     float64(len(iso.oks)) / iso.wall.Seconds(),
+		"p50_us":  float64(percentile(iso.oks, 0.50).Microseconds()),
+		"p99_us":  isoP99,
+	})
+
+	// Phase 2 — mixed: the remaining clients hammer the abuser tenant with
+	// several times more offered load than its token bucket admits, running
+	// continuously while the same well-behaved drives as the baseline
+	// repeat. The abusive clients pace at 5ms between attempts — loopback
+	// has no network RTT, so an unpaced 429 loop degenerates into a
+	// CPU-burn contest no real WAN client could mount; paced, the offered
+	// load still exceeds the admitted rate by ~20×.
+	abuseClients := max(1, clients-wellClients)
+	stopAbuse := make(chan struct{})
+	var abuseWG sync.WaitGroup
+	var abuseAdmitted, abuseThrottled atomic.Int64
+	abuseStart := time.Now()
+	for c := 0; c < abuseClients; c++ {
+		abuseWG.Add(1)
+		go func(c int) {
+			defer abuseWG.Done()
+			rng := mathx.NewRNG(seed + 200 + uint64(c))
+			for {
+				select {
+				case <-stopAbuse:
+					return
+				default:
+				}
+				q := g.Entities[rng.Zipf(len(g.Entities), zipfSkew)].Label
+				code, err := get(base + "/t/abuser/lookup?k=10&q=" + url.QueryEscape(q))
+				if err != nil {
+					return
+				}
+				switch code {
+				case http.StatusOK:
+					abuseAdmitted.Add(1)
+				case http.StatusTooManyRequests:
+					abuseThrottled.Add(1)
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		}(c)
+	}
+	time.Sleep(200 * time.Millisecond) // abusers at steady state before measuring
+	wellP99, well, err := medianP99(3, func(i int) (driven, error) {
+		return drive("alpha", wellClients, wellOps, wellPace, 100+uint64(i)*7)
+	})
+	close(stopAbuse)
+	abuseWG.Wait()
+	abuseWall := time.Since(abuseStart)
+	if err != nil {
+		return err
+	}
+	abuseAttempts := abuseAdmitted.Load() + abuseThrottled.Load()
+	throttled := abuseThrottled.Load()
+	add("tenant_mixed", map[string]float64{
+		"well_clients":        float64(wellClients),
+		"abuse_clients":       float64(abuseClients),
+		"well_qps":            float64(len(well.oks)) / well.wall.Seconds(),
+		"well_p99_us":         wellP99,
+		"well_p99_ratio":      wellP99 / isoP99,
+		"abuse_attempts":      float64(abuseAttempts),
+		"abuse_throttled":     float64(throttled),
+		"abuse_throttle_rate": float64(throttled) / float64(abuseAttempts),
+		"abuse_admitted_qps":  float64(abuseAdmitted.Load()) / abuseWall.Seconds(),
+	})
+
+	// Phase 3 — shed curve: sweep offered load past the small tenant's
+	// rate cap. Offered qps keeps climbing with the client count; goodput
+	// (200s/sec) must plateau at the cap while the excess is shed as cheap
+	// 429s — the adaptive-LIFO guarantee that overload costs latency for
+	// the shed requests only, not throughput for the admitted ones. Total
+	// attempts per level are held constant so every level runs a comparable
+	// wall-clock window — long enough that the token bucket's startup burst
+	// is noise, not signal. Only genuinely saturated levels (most of the
+	// offered load shed) enter the flatness check; the knee of the curve is
+	// transitional by definition.
+	const shedAttempts = 32 * 1024
+	var goodputs []float64
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		opsEach := shedAttempts / n
+		d, err := drive("small", n, opsEach, 0, 300+uint64(n))
+		if err != nil {
+			return err
+		}
+		attempts := n * opsEach
+		offered := float64(attempts) / d.wall.Seconds()
+		goodput := float64(d.code[http.StatusOK]) / d.wall.Seconds()
+		shedRateF := float64(d.code[http.StatusTooManyRequests]) / float64(attempts)
+		if shedRateF > 0.5 {
+			goodputs = append(goodputs, goodput)
+		}
+		add(fmt.Sprintf("tenant_shed_%02dclients", n), map[string]float64{
+			"clients":     float64(n),
+			"offered_qps": offered,
+			"goodput_qps": goodput,
+			"shed_rate":   shedRateF,
+		})
+	}
+	flat := 1.0
+	if len(goodputs) > 1 {
+		lo, hi := goodputs[0], goodputs[0]
+		for _, gp := range goodputs[1:] {
+			lo, hi = minF(lo, gp), maxF(hi, gp)
+		}
+		flat = hi / lo
+	}
+
+	// Per-tenant admission counters as the registry saw them — the same
+	// numbers /t/{tenant}/stats serves.
+	if t, ok := reg.Tenant("abuser"); ok {
+		st := t.Stats()
+		add("obs_abuser_admission", map[string]float64{
+			"admitted":     float64(st.Admission.Admitted),
+			"rate_limited": float64(st.Admission.RateLimited),
+			"shed":         float64(st.Admission.Shed),
+		})
+	}
+
+	add("summary", map[string]float64{
+		"wellbehaved_p99_ratio": wellP99 / isoP99,
+		"abuse_throttle_rate":   float64(throttled) / float64(abuseAttempts),
+		"goodput_flat_ratio":    flat,
+		"clients":               float64(clients),
+	})
+	return writeSnapshot(path, snap)
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

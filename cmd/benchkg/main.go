@@ -76,6 +76,7 @@ func main() {
 	benchClusterPath := flag.String("bench-cluster", "", "train a model and write a cluster serving benchmark snapshot to this JSON file")
 	benchReplicaPath := flag.String("bench-replica", "", "train a model and write a replicated-cluster benchmark snapshot (hedging, failover, rebalance) to this JSON file")
 	benchScalePath := flag.String("bench-scale", "", "write the scaling benchmark snapshot (cold attach, RSS, recall, latency per entity count) to this JSON file")
+	benchTenantPath := flag.String("bench-tenant", "", "train a model and write a multi-tenant serving benchmark snapshot (admission throttling, isolation, shed curve) to this JSON file")
 	scales := flag.String("scales", "10000,100000", "comma-separated entity counts for -bench-scale")
 	scaleAttach := flag.String("scale-attach", "", "internal: cold-attach the given artifact once and print a JSON probe (used by -bench-scale subprocesses)")
 	clients := flag.Int("clients", 16, "concurrent clients for -bench-serve")
@@ -119,6 +120,12 @@ func main() {
 	}
 	if *benchReplicaPath != "" {
 		if err := benchReplica(*benchReplicaPath, *entities, *seed); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *benchTenantPath != "" {
+		if err := benchTenant(*benchTenantPath, *entities, *clients, *seed); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -227,7 +227,14 @@ func cmdServe(args []string) {
 	slowMs := fs.Int("slowlog-ms", 100, "log queries slower than this many ms at GET /debug/slowlog (0 disables)")
 	dynamic := fs.Bool("dynamic", false, "live ingest mode: mutable index + POST /ingest (bypasses the serving substrate, whose caches assume an immutable index)")
 	ingestQueue := fs.Int("ingest-queue", 256, "ingest queue depth in -dynamic mode (Enqueue blocks when full)")
+	tenantsConf := fs.String("tenants", "", "multi-tenant mode: JSON config of named tenants served under /t/{tenant}/ (ignores -graph/-model)")
 	fs.Parse(args)
+
+	if *tenantsConf != "" {
+		obs.Default().SetEnabled(*metricsOn)
+		serveTenants(*tenantsConf, *addr, *metricsOn, newSlowLog(*slowMs))
+		return
+	}
 
 	g, err := kg.LoadFile(*graphPath)
 	if err != nil {

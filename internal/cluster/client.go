@@ -163,13 +163,23 @@ func (c *nodeClient) search(ctx context.Context, tr *obs.Trace, k int, embs [][]
 	if err != nil {
 		return nil, err
 	}
+	attempts := retry.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
 	var out [][]server.PartitionHit
-	err = retry.Do(RealSleep, func(attempt int) error {
+	err = retry.DoCtx(ctx, RealSleep, func(attempt int) error {
 		if attempt > 0 {
 			c.retries.Add(1)
 			c.retryTotal.Inc()
 		}
-		res, err := c.hedged(ctx, tr, attempt, body, len(embs), timeout, hedgeAfter)
+		// Carve this attempt's timeout from the remaining deadline so the
+		// tries still in the budget all fit (see AttemptTimeout).
+		tmo := AttemptTimeout(ctx, timeout, attempts-attempt)
+		if tmo <= 0 {
+			return context.DeadlineExceeded
+		}
+		res, err := c.hedged(ctx, tr, attempt, body, len(embs), tmo, hedgeAfter)
 		if err != nil {
 			return err
 		}
@@ -177,7 +187,11 @@ func (c *nodeClient) search(ctx context.Context, tr *obs.Trace, k int, embs [][]
 		return nil
 	})
 	if err != nil {
-		c.markFailure()
+		// A caller-side abort (deadline spent, client gone) is not the
+		// node's fault; only node-side failures feed the health machine.
+		if ctx.Err() == nil {
+			c.markFailure()
+		}
 		return nil, err
 	}
 	c.markSuccess()

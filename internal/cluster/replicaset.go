@@ -89,7 +89,22 @@ func (rs *replicaSet) search(ctx context.Context, tr *obs.Trace, k int, embs [][
 	var lastErr error
 	for a := 0; a < attempts; a++ {
 		if a > 0 {
-			RealSleep.Sleep(opts.Retry.Backoff(a - 1))
+			if err := sleepCtx(ctx, RealSleep, opts.Retry.Backoff(a-1)); err != nil {
+				if lastErr == nil {
+					lastErr = err
+				}
+				break
+			}
+		}
+		// Each attempt's timeout is carved from the remaining deadline so
+		// every try left in the budget still fits; a spent deadline stops
+		// the loop instead of firing a doomed request.
+		tmo := AttemptTimeout(ctx, opts.Timeout, attempts-a)
+		if tmo <= 0 {
+			if lastErr == nil {
+				lastErr = context.DeadlineExceeded
+			}
+			break
 		}
 		c := rs.pickFor(tried)
 		if c == nil {
@@ -100,12 +115,15 @@ func (rs *replicaSet) search(ctx context.Context, tr *obs.Trace, k int, embs [][
 			c.retryTotal.Inc()
 		}
 		tried[c] = true
-		hits, winner, err := rs.hedged(ctx, tr, a, c, tried, body, len(embs), opts)
+		hits, winner, err := rs.hedged(ctx, tr, a, c, tried, body, len(embs), opts, tmo)
 		if err == nil {
 			winner.markSuccess()
 			return hits, nil
 		}
 		lastErr = err
+		if ctx.Err() != nil {
+			break // the caller gave up; retrying is work nobody reads
+		}
 	}
 	return nil, lastErr
 }
@@ -122,18 +140,19 @@ type replicaReply struct {
 // contenders are marked down-path immediately — cancellation of the losing
 // duplicate is not a failure. Returns the winning node so the caller
 // credits the success where it landed.
-func (rs *replicaSet) hedged(ctx context.Context, tr *obs.Trace, attempt int, primary *nodeClient, tried map[*nodeClient]bool, body []byte, nq int, opts RouterOptions) ([][]server.PartitionHit, *nodeClient, error) {
+func (rs *replicaSet) hedged(ctx context.Context, tr *obs.Trace, attempt int, primary *nodeClient, tried map[*nodeClient]bool, body []byte, nq int, opts RouterOptions, timeout time.Duration) ([][]server.PartitionHit, *nodeClient, error) {
 	markFail := func(c *nodeClient, err error) {
-		// The shared context cancels the loser when a winner returns;
-		// that abort says nothing about the loser's health.
-		if !errors.Is(err, context.Canceled) {
+		// The shared context cancels the loser when a winner returns, and
+		// the caller's own context abort (deadline spent, client gone) says
+		// nothing about the node's health either.
+		if !errors.Is(err, context.Canceled) && ctx.Err() == nil {
 			c.markFailure()
 		}
 	}
 	if opts.HedgeAfter <= 0 {
 		sp := tr.StartAttempt(primary.spanRPC, false, attempt)
 		start := time.Now()
-		hits, spans, err := primary.post(ctx, tr.ID(), body, nq, opts.Timeout)
+		hits, spans, err := primary.post(ctx, tr.ID(), body, nq, timeout)
 		sp.End()
 		if err != nil {
 			markFail(primary, err)
@@ -149,7 +168,7 @@ func (rs *replicaSet) hedged(ctx context.Context, tr *obs.Trace, attempt int, pr
 		go func() {
 			sp := tr.StartAttempt(c.spanRPC, isHedge, attempt)
 			start := time.Now()
-			hits, spans, err := c.post(cctx, tr.ID(), body, nq, opts.Timeout)
+			hits, spans, err := c.post(cctx, tr.ID(), body, nq, timeout)
 			sp.End()
 			ch <- replicaReply{searchReply{hits: hits, spans: spans, start: start, err: err, hedged: isHedge}, c}
 		}()

@@ -9,6 +9,7 @@
 package cluster
 
 import (
+	"context"
 	"sync/atomic"
 	"time"
 )
@@ -28,8 +29,14 @@ type SleepFunc func(time.Duration)
 // Sleep implements Sleeper.
 func (f SleepFunc) Sleep(d time.Duration) { f(d) }
 
+// realSleeper is the live Sleeper's concrete type — a named struct so
+// sleepCtx can recognize it and race the wait against a context.
+type realSleeper struct{}
+
+func (realSleeper) Sleep(d time.Duration) { time.Sleep(d) }
+
 // RealSleep is the Sleeper of live deployments: it actually waits.
-var RealSleep Sleeper = SleepFunc(time.Sleep)
+var RealSleep Sleeper = realSleeper{}
 
 // RetryPolicy bounds how a transient request failure is retried:
 // exponential backoff starting at BaseBackoff, doubling per attempt, capped
@@ -73,6 +80,15 @@ func (p RetryPolicy) Backoff(attempt int) time.Duration {
 // backoff time through s between attempts. op receives the 0-based attempt
 // number; the error of the last attempt is returned.
 func (p RetryPolicy) Do(s Sleeper, op func(attempt int) error) error {
+	return p.DoCtx(context.Background(), s, op)
+}
+
+// DoCtx is Do under a caller deadline: a context that fires mid-backoff or
+// between attempts stops the loop immediately with ctx.Err() (retrying
+// work the caller has abandoned would be completed-and-discarded effort).
+// The error of the last real attempt wins over the context error when both
+// exist, so callers see what actually failed.
+func (p RetryPolicy) DoCtx(ctx context.Context, s Sleeper, op func(attempt int) error) error {
 	attempts := p.Attempts
 	if attempts < 1 {
 		attempts = 1
@@ -80,13 +96,74 @@ func (p RetryPolicy) Do(s Sleeper, op func(attempt int) error) error {
 	var err error
 	for a := 0; a < attempts; a++ {
 		if a > 0 {
-			s.Sleep(p.Backoff(a - 1))
+			if serr := sleepCtx(ctx, s, p.Backoff(a-1)); serr != nil {
+				if err == nil {
+					err = serr
+				}
+				return err
+			}
 		}
 		if err = op(a); err == nil {
 			return nil
 		}
+		if cerr := ctx.Err(); cerr != nil {
+			return err
+		}
 	}
 	return err
+}
+
+// AttemptTimeout derives one attempt's timeout from the caller's remaining
+// deadline: the base per-attempt timeout, shrunk so the `attemptsLeft`
+// remaining tries (this one included) can all fit in what is left of the
+// deadline — a fixed 2s timeout must not eat a 100ms budget whole on
+// attempt one. Without a deadline the base timeout stands. A non-positive
+// return means the deadline is already spent.
+func AttemptTimeout(ctx context.Context, base time.Duration, attemptsLeft int) time.Duration {
+	if ctx.Err() != nil {
+		return -1 // cancelled counts as spent even without a deadline
+	}
+	d, ok := ctx.Deadline()
+	if !ok {
+		return base
+	}
+	remaining := time.Until(d)
+	if remaining <= 0 {
+		return -1
+	}
+	if attemptsLeft < 1 {
+		attemptsLeft = 1
+	}
+	per := remaining / time.Duration(attemptsLeft)
+	if per < base {
+		return per
+	}
+	return base
+}
+
+// sleepCtx spends d through s unless ctx fires first. For the real sleeper
+// the wait races a timer against ctx.Done; virtual sleepers (Gate) charge
+// their clock in full and only report a context that was already done.
+func sleepCtx(ctx context.Context, s Sleeper, d time.Duration) error {
+	if ctx == nil || ctx.Done() == nil {
+		s.Sleep(d)
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if _, real := s.(realSleeper); real {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	s.Sleep(d)
+	return ctx.Err()
 }
 
 // Gate accounts requests issued against an endpoint with a per-client

@@ -139,12 +139,13 @@ type Router struct {
 	ingestCount atomic.Int64
 	graphMu     sync.RWMutex
 
-	reg           *obs.Registry
-	partials      atomic.Int64
-	latency       *obs.Histogram // end-to-end routed lookup latency
-	mapSwaps      *obs.Counter
-	ingestRouted  *obs.Counter
-	ingestFanFail *obs.Counter
+	reg              *obs.Registry
+	partials         atomic.Int64
+	deadlineExceeded atomic.Int64 // queries lost to a spent caller deadline
+	latency          *obs.Histogram // end-to-end routed lookup latency
+	mapSwaps         *obs.Counter
+	ingestRouted     *obs.Counter
+	ingestFanFail    *obs.Counter
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -186,6 +187,9 @@ func NewRouterWithMap(model *core.EmbLookup, m Map, opts RouterOptions) (*Router
 	r.ingestFanFail = reg.Counter("emblookup_cluster_ingest_fanout_failures_total")
 	reg.CounterFunc("emblookup_cluster_partial_responses_total", func() float64 {
 		return float64(r.partials.Load())
+	})
+	reg.CounterFunc("emblookup_cluster_deadline_exceeded_total", func() float64 {
+		return float64(r.deadlineExceeded.Load())
 	})
 	reg.GaugeFunc("emblookup_cluster_healthy_nodes", func() float64 {
 		n := 0
@@ -386,14 +390,57 @@ func (r *Router) BulkLookup(queries []string, k int) BulkResult {
 	return r.BulkLookupTrace(nil, queries, k)
 }
 
+// LookupCtx is Lookup under the caller's context: the scatter, its
+// retries, backoffs, and hedges all stop the moment ctx fires, and the
+// per-attempt node timeouts shrink to fit the remaining deadline. A
+// context loss returns ctx.Err(); the deadline_exceeded counter ticks
+// exactly once per lost query, here at the outermost layer.
+func (r *Router) LookupCtx(ctx context.Context, q string, k int) (Result, error) {
+	return r.LookupTraceCtx(ctx, nil, q, k)
+}
+
+// LookupTraceCtx is LookupCtx with the request's trace threaded through.
+func (r *Router) LookupTraceCtx(ctx context.Context, tr *obs.Trace, q string, k int) (Result, error) {
+	br, err := r.BulkLookupTraceCtx(ctx, tr, []string{q}, k)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Candidates: br.PerQuery[0], Partial: br.Partial, Failed: br.Failed}, nil
+}
+
+// BulkLookupCtx is BulkLookup under the caller's context (see LookupCtx).
+func (r *Router) BulkLookupCtx(ctx context.Context, queries []string, k int) (BulkResult, error) {
+	return r.BulkLookupTraceCtx(ctx, nil, queries, k)
+}
+
 // BulkLookupTrace is BulkLookup with tracing (see LookupTrace).
 func (r *Router) BulkLookupTrace(tr *obs.Trace, queries []string, k int) BulkResult {
+	br, _ := r.BulkLookupTraceCtx(context.Background(), tr, queries, k)
+	return br
+}
+
+// BulkLookupTraceCtx is the routed batch under both a trace and the
+// caller's context. The context reaches every scatter leg — node attempts,
+// backoff sleeps, hedged duplicates — so a caller that gives up cancels
+// the whole fan-out instead of letting it finish into the void. The
+// deadline_exceeded counter is incremented here and only here (once per
+// query of the lost batch); the inner retry and hedge layers report
+// context errors but never count them, which is what keeps the counter
+// exactly-once.
+func (r *Router) BulkLookupTraceCtx(ctx context.Context, tr *obs.Trace, queries []string, k int) (BulkResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	out := BulkResult{PerQuery: make([][]lookup.Candidate, len(queries))}
 	if len(queries) == 0 {
-		return out
+		return out, nil
 	}
 	if k <= 0 {
-		return out
+		return out, nil
+	}
+	if err := ctx.Err(); err != nil {
+		r.deadlineExceeded.Add(int64(len(queries)))
+		return out, err
 	}
 	t0 := time.Now()
 	// Same over-fetch discipline as core.EmbLookup.Lookup: alias rows can
@@ -421,11 +468,15 @@ func (r *Router) BulkLookupTrace(tr *obs.Trace, queries []string, k int) BulkRes
 		wg.Add(1)
 		go func(i int, rs *replicaSet) {
 			defer wg.Done()
-			perPart[i], errs[i] = rs.search(context.Background(), tr, fetch, embs, r.opts)
+			perPart[i], errs[i] = rs.search(ctx, tr, fetch, embs, r.opts)
 		}(i, rs)
 	}
 	wg.Wait()
 
+	if err := ctx.Err(); err != nil {
+		r.deadlineExceeded.Add(int64(len(queries)))
+		return out, err
+	}
 	for i := range parts {
 		if skipped[i] || errs[i] != nil {
 			out.Failed = append(out.Failed, i)
@@ -449,7 +500,7 @@ func (r *Router) BulkLookupTrace(tr *obs.Trace, queries []string, k int) BulkRes
 	}
 	sp.End()
 	r.latency.Since(t0)
-	return out
+	return out, nil
 }
 
 // mergeHits turns the union of per-partition top-fetch hits into the final
@@ -588,6 +639,21 @@ func (r *Router) Handler() http.Handler {
 	return mux
 }
 
+// requestCtx derives the fan-out context from the request: the HTTP
+// request context (cancelled when the client disconnects) tightened by an
+// explicit ?deadline_ms= / header budget when the caller set one.
+func requestCtx(req *http.Request) (context.Context, context.CancelFunc, error) {
+	d, ok, err := server.RequestDeadline(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !ok {
+		return req.Context(), func() {}, nil
+	}
+	ctx, cancel := context.WithTimeout(req.Context(), d)
+	return ctx, cancel, nil
+}
+
 func (r *Router) parseK(req *http.Request) (int, error) {
 	k := 10
 	if ks := req.URL.Query().Get("k"); ks != "" {
@@ -622,6 +688,12 @@ func (r *Router) handleLookup(w http.ResponseWriter, req *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	ctx, cancel, err := requestCtx(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	defer cancel()
 	// Open a trace when the caller asked (?trace=1), when an upstream hop
 	// propagated an id, or when a slow entry might need the timeline.
 	wantTrace := req.URL.Query().Get("trace") == "1"
@@ -633,7 +705,11 @@ func (r *Router) handleLookup(w http.ResponseWriter, req *http.Request) {
 		tr = obs.NewTrace()
 	}
 	start := time.Now()
-	res := r.LookupTrace(tr, q, k)
+	res, err := r.LookupTraceCtx(ctx, tr, q, k)
+	if err != nil {
+		http.Error(w, "deadline exceeded", http.StatusGatewayTimeout)
+		return
+	}
 	took := time.Since(start)
 	if r.SlowLog.Slow(took) {
 		r.SlowLog.Record(obs.SlowEntry{
@@ -677,8 +753,18 @@ func (r *Router) handleBulk(w http.ResponseWriter, req *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	ctx, cancel, err := requestCtx(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	defer cancel()
 	start := time.Now()
-	res := r.BulkLookup(queries, k)
+	res, err := r.BulkLookupCtx(ctx, queries, k)
+	if err != nil {
+		http.Error(w, "deadline exceeded", http.StatusGatewayTimeout)
+		return
+	}
 	if took := time.Since(start); r.SlowLog.Slow(took) {
 		r.SlowLog.Record(obs.SlowEntry{
 			Route: "/bulk", Query: fmt.Sprintf("[%d queries]", len(queries)),

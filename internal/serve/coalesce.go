@@ -1,7 +1,9 @@
 package serve
 
 import (
+	"context"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"emblookup/internal/lookup"
@@ -13,36 +15,60 @@ import (
 // of that query would return.
 type BulkFunc func(queries []string, k int) [][]lookup.Candidate
 
+// BulkCtxFunc is BulkFunc with cooperative cancellation —
+// core.EmbLookup.BulkLookupCtx. The coalescer calls it with the latest
+// deadline of the batch's live callers, so no caller's work is cut short
+// and a batch whose every caller has given up is never computed at all.
+type BulkCtxFunc func(ctx context.Context, queries []string, k int) ([][]lookup.Candidate, error)
+
+// coalOut is what a waiter receives: its candidates, or the batch's error
+// (only ever a context error — the bulk deadline passed mid-dispatch).
+type coalOut struct {
+	res []lookup.Candidate
+	err error
+}
+
 // coalReq is one caller blocked on the micro-batcher. t0 is its arrival
-// time, from which the coalescing-wait histogram is fed at dispatch.
+// time, from which the coalescing-wait histogram is fed at dispatch. ctx is
+// nil for deadline-less callers. A caller that stops waiting (its context
+// fired) sets abandoned; dispatch drops abandoned requests before the bulk
+// call — their channel is buffered, so a lost race (result computed anyway)
+// just gets discarded.
 type coalReq struct {
-	q  string
-	k  int
-	t0 time.Time
-	ch chan []lookup.Candidate
+	ctx       context.Context
+	q         string
+	k         int
+	t0        time.Time
+	ch        chan coalOut
+	abandoned atomic.Bool
 }
 
 // Coalescer is the query micro-batcher: concurrent Lookup calls collect
 // into a pending batch that is dispatched as one bulk call when it reaches
 // MaxBatch queries or when the oldest pending query has waited Window,
-// whichever comes first. One bulk dispatch amortizes per-query overheads —
-// scratch checkout, scheduling, and (through the sharded index's batch
-// path) shard-major code locality — across every caller in the batch, while
-// each caller still receives exactly the result a solo Lookup would have
-// produced.
+// whichever comes first. A pending query with a deadline sooner than the
+// window flushes the batch early, so tight deadlines spend their budget on
+// the scan, not on the coalescing wait. One bulk dispatch amortizes
+// per-query overheads — scratch checkout, scheduling, and (through the
+// sharded index's batch path) shard-major code locality — across every
+// caller in the batch, while each caller still receives exactly the result
+// a solo Lookup would have produced.
 type Coalescer struct {
 	bulk     BulkFunc
+	bulkCtx  BulkCtxFunc // optional; set via WithBulkCtx before serving
 	maxBatch int
 	window   time.Duration
 
 	mu      sync.Mutex
-	pending []coalReq
+	pending []*coalReq
 	timer   *time.Timer
+	timerAt time.Time // when the armed timer fires (zero = no timer)
 	closed  bool
 
-	// Counters, guarded by mu.
+	// Counters, guarded by mu (abandoned is touched off-lock at dispatch).
 	batches    uint64
 	dispatched uint64
+	abandoned  atomic.Uint64
 
 	// Registry histograms, set by Observe; nil handles record nothing.
 	batchSize *obs.Histogram // queries per dispatched batch
@@ -61,40 +87,129 @@ func NewCoalescer(bulk BulkFunc, maxBatch int, window time.Duration) *Coalescer 
 	return &Coalescer{bulk: bulk, maxBatch: maxBatch, window: window}
 }
 
+// WithBulkCtx installs the cancellable bulk path used for batches whose
+// callers carry deadlines. Call before the coalescer starts serving.
+func (c *Coalescer) WithBulkCtx(fn BulkCtxFunc) *Coalescer {
+	c.bulkCtx = fn
+	return c
+}
+
 // Lookup enqueues one query and blocks until its batch is dispatched and
 // answered. It is safe for concurrent use.
 func (c *Coalescer) Lookup(q string, k int) []lookup.Candidate {
+	r, batch := c.enqueue(nil, q, k)
+	if r == nil {
+		return c.bulk([]string{q}, k)[0]
+	}
+	if batch != nil {
+		c.dispatch(batch)
+	}
+	return (<-r.ch).res
+}
+
+// LookupCtx is Lookup with a deadline: the request flushes its batch no
+// later than its deadline, the caller stops waiting the moment ctx fires
+// (marking the request abandoned so dispatch can skip it), and the bulk
+// call itself runs under the batch's combined deadline. A context that can
+// never be cancelled takes the exact Lookup path.
+func (c *Coalescer) LookupCtx(ctx context.Context, q string, k int) ([]lookup.Candidate, error) {
+	if ctx == nil || ctx.Done() == nil {
+		return c.Lookup(q, k), nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	r, batch := c.enqueue(ctx, q, k)
+	if r == nil {
+		if c.bulkCtx != nil {
+			res, err := c.bulkCtx(ctx, []string{q}, k)
+			if err != nil {
+				return nil, err
+			}
+			return res[0], nil
+		}
+		return c.bulk([]string{q}, k)[0], nil
+	}
+	if batch != nil {
+		c.dispatch(batch)
+	}
+	select {
+	case out := <-r.ch:
+		if out.err != nil {
+			return nil, out.err
+		}
+		return out.res, nil
+	case <-ctx.Done():
+		r.abandoned.Store(true)
+		c.abandoned.Add(1)
+		return nil, ctx.Err()
+	}
+}
+
+// enqueue adds one request to the pending batch. A nil request means the
+// coalescer is closed (the caller goes solo); a non-nil batch means this
+// caller filled it and must dispatch inline — its own result is in the
+// batch, so it was going to wait anyway.
+func (c *Coalescer) enqueue(ctx context.Context, q string, k int) (*coalReq, []*coalReq) {
+	now := time.Now()
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return c.bulk([]string{q}, k)[0]
+		return nil, nil
 	}
-	ch := make(chan []lookup.Candidate, 1)
-	c.pending = append(c.pending, coalReq{q: q, k: k, t0: time.Now(), ch: ch})
+	r := &coalReq{ctx: ctx, q: q, k: k, t0: now, ch: make(chan coalOut, 1)}
+	c.pending = append(c.pending, r)
 	if len(c.pending) >= c.maxBatch {
 		batch := c.takeLocked()
 		c.mu.Unlock()
-		// The caller that filled the batch dispatches it inline: its own
-		// result is in the batch, so it was going to wait anyway.
-		c.dispatch(batch)
-	} else {
-		if len(c.pending) == 1 {
-			c.timer = time.AfterFunc(c.window, c.flushOnTimer)
-		}
-		c.mu.Unlock()
+		return r, batch
 	}
-	return <-ch
+	fireAt := now.Add(c.window)
+	if ctx != nil {
+		// A deadline tighter than the window flushes early — at half the
+		// caller's remaining budget, so the other half is left for the scan
+		// instead of arming the flush at the deadline itself, when the bulk
+		// call would start with nothing left to spend.
+		if d, ok := ctx.Deadline(); ok {
+			if half := d.Sub(now) / 2; half < c.window {
+				fireAt = now.Add(half)
+			}
+		}
+	}
+	c.armLocked(fireAt)
+	c.mu.Unlock()
+	return r, nil
 }
 
-// takeLocked detaches the pending batch and stops the window timer. The
+// armLocked makes sure the flush timer fires no later than at. The caller
+// must hold mu. Re-arming stops the old timer; a stop that loses the race
+// with an in-flight firing just means flushOnTimer runs against an empty
+// (already-taken) pending list — a no-op.
+func (c *Coalescer) armLocked(at time.Time) {
+	if c.timer != nil && !c.timerAt.After(at) {
+		return
+	}
+	if c.timer != nil {
+		c.timer.Stop()
+	}
+	d := time.Until(at)
+	if d < 0 {
+		d = 0
+	}
+	c.timer = time.AfterFunc(d, c.flushOnTimer)
+	c.timerAt = at
+}
+
+// takeLocked detaches the pending batch and stops the flush timer. The
 // caller must hold mu.
-func (c *Coalescer) takeLocked() []coalReq {
+func (c *Coalescer) takeLocked() []*coalReq {
 	batch := c.pending
 	c.pending = nil
 	if c.timer != nil {
 		c.timer.Stop()
 		c.timer = nil
 	}
+	c.timerAt = time.Time{}
 	if len(batch) > 0 {
 		c.batches++
 		c.dispatched += uint64(len(batch))
@@ -112,32 +227,40 @@ func (c *Coalescer) flushOnTimer() {
 	c.dispatch(batch)
 }
 
-// dispatch answers every request in the batch with one bulk call per
-// distinct k (one call total in the common uniform-k case) and unblocks the
-// callers.
-func (c *Coalescer) dispatch(batch []coalReq) {
-	if len(batch) == 0 {
+// dispatch answers every live request in the batch with one bulk call per
+// distinct k (one call total in the common uniform-k case) and unblocks
+// the callers. Requests whose caller already gave up are dropped here —
+// a batch with no live requests costs nothing.
+func (c *Coalescer) dispatch(batch []*coalReq) {
+	live := batch[:0]
+	for _, r := range batch {
+		if r.abandoned.Load() {
+			continue
+		}
+		live = append(live, r)
+	}
+	if len(live) == 0 {
 		return
 	}
-	c.batchSize.ObserveVal(int64(len(batch)))
-	for _, r := range batch {
+	c.batchSize.ObserveVal(int64(len(live)))
+	for _, r := range live {
 		c.wait.Since(r.t0)
 	}
 	// Group by k preserving arrival order within each group. Almost every
 	// batch has a single k, so scan for that case first.
 	uniform := true
-	for i := 1; i < len(batch); i++ {
-		if batch[i].k != batch[0].k {
+	for i := 1; i < len(live); i++ {
+		if live[i].k != live[0].k {
 			uniform = false
 			break
 		}
 	}
 	if uniform {
-		c.answer(batch, batch[0].k)
+		c.answer(live, live[0].k)
 		return
 	}
-	groups := make(map[int][]coalReq)
-	for _, r := range batch {
+	groups := make(map[int][]*coalReq)
+	for _, r := range live {
 		groups[r.k] = append(groups[r.k], r)
 	}
 	for k, group := range groups {
@@ -145,15 +268,53 @@ func (c *Coalescer) dispatch(batch []coalReq) {
 	}
 }
 
+// groupCtx derives the bulk call's context from a same-k group: the latest
+// deadline across the group's callers, so the shared computation is never
+// cut short while any caller still wants it. Any deadline-less caller
+// makes the bulk call deadline-less.
+func groupCtx(group []*coalReq) (context.Context, context.CancelFunc) {
+	var latest time.Time
+	for _, r := range group {
+		if r.ctx == nil {
+			return context.Background(), nil
+		}
+		d, ok := r.ctx.Deadline()
+		if !ok {
+			return context.Background(), nil
+		}
+		if d.After(latest) {
+			latest = d
+		}
+	}
+	if latest.IsZero() {
+		return context.Background(), nil
+	}
+	return context.WithDeadline(context.Background(), latest)
+}
+
 // answer runs one bulk call for a same-k group and delivers the results.
-func (c *Coalescer) answer(group []coalReq, k int) {
+func (c *Coalescer) answer(group []*coalReq, k int) {
 	queries := make([]string, len(group))
 	for i, r := range group {
 		queries[i] = r.q
 	}
-	results := c.bulk(queries, k)
+	var results [][]lookup.Candidate
+	var err error
+	if c.bulkCtx != nil {
+		gctx, cancel := groupCtx(group)
+		results, err = c.bulkCtx(gctx, queries, k)
+		if cancel != nil {
+			cancel()
+		}
+	} else {
+		results = c.bulk(queries, k)
+	}
 	for i, r := range group {
-		r.ch <- results[i]
+		if err != nil {
+			r.ch <- coalOut{err: err}
+		} else {
+			r.ch <- coalOut{res: results[i]}
+		}
 	}
 }
 
@@ -168,12 +329,14 @@ func (c *Coalescer) Observe(r *obs.Registry) {
 	c.mu.Unlock()
 	r.CounterFunc("emblookup_coalescer_batches_total", func() float64 { return float64(c.Stats().Batches) })
 	r.CounterFunc("emblookup_coalescer_queries_total", func() float64 { return float64(c.Stats().Queries) })
+	r.CounterFunc("emblookup_coalescer_abandoned_total", func() float64 { return float64(c.abandoned.Load()) })
 }
 
 // CoalescerStats is a point-in-time snapshot of the batching counters.
 type CoalescerStats struct {
 	Batches      uint64  `json:"batches"`
 	Queries      uint64  `json:"queries"`
+	Abandoned    uint64  `json:"abandoned,omitempty"`
 	AvgBatchSize float64 `json:"avgBatchSize"`
 	MaxBatch     int     `json:"maxBatch"`
 	WindowUs     int64   `json:"windowUs"`
@@ -184,10 +347,11 @@ func (c *Coalescer) Stats() CoalescerStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	st := CoalescerStats{
-		Batches:  c.batches,
-		Queries:  c.dispatched,
-		MaxBatch: c.maxBatch,
-		WindowUs: c.window.Microseconds(),
+		Batches:   c.batches,
+		Queries:   c.dispatched,
+		Abandoned: c.abandoned.Load(),
+		MaxBatch:  c.maxBatch,
+		WindowUs:  c.window.Microseconds(),
 	}
 	if st.Batches > 0 {
 		st.AvgBatchSize = float64(st.Queries) / float64(st.Batches)

@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"slices"
+
+	"emblookup/internal/core"
+	"emblookup/internal/kg"
+	"emblookup/internal/lookup"
+	"emblookup/internal/strutil"
+)
+
+// HybridRerank re-orders an embedding top-k by exact string similarity —
+// the hybrid lexical+embedding retrieval mode (PAPERS.md "Explore Entity
+// Embedding Effectiveness in Entity Retrieval"): the embedding recalls
+// semantically close entities cheaply, then the normalized Levenshtein
+// ratio between the query and each candidate's label re-ranks the short
+// list so exact surface-form matches win ties the embedding can't see.
+//
+// label resolves a candidate to its display label (the graph's Label
+// method); both sides are compared in mention-normalized form so the
+// ordering is insensitive to case and punctuation, exactly like the
+// embedding itself. Ordering is bit-deterministic: similarity descending,
+// then embedding score descending, then entity id ascending. The input
+// slice is never mutated — cached candidate slices are shared read-only —
+// and the candidates' scores are preserved (only the order changes), so
+// hybrid mode composes with the mention cache for free.
+func HybridRerank(q string, cands []lookup.Candidate, label func(kg.EntityID) string) []lookup.Candidate {
+	if len(cands) == 0 {
+		return cands
+	}
+	norm := core.NormalizeMention(q)
+	type ranked struct {
+		c   lookup.Candidate
+		sim float64
+	}
+	rs := make([]ranked, len(cands))
+	for i, c := range cands {
+		rs[i] = ranked{c: c, sim: strutil.Similarity(norm, core.NormalizeMention(label(c.ID)))}
+	}
+	slices.SortFunc(rs, func(a, b ranked) int {
+		switch {
+		case a.sim > b.sim:
+			return -1
+		case a.sim < b.sim:
+			return 1
+		case a.c.Score > b.c.Score:
+			return -1
+		case a.c.Score < b.c.Score:
+			return 1
+		case a.c.ID < b.c.ID:
+			return -1
+		case a.c.ID > b.c.ID:
+			return 1
+		}
+		return 0
+	})
+	out := make([]lookup.Candidate, len(cands))
+	for i, r := range rs {
+		out[i] = r.c
+	}
+	return out
+}

@@ -19,6 +19,7 @@
 package serve
 
 import (
+	"context"
 	"time"
 
 	"emblookup/internal/core"
@@ -96,7 +97,10 @@ func New(model *core.EmbLookup, opts Options) (*Serve, error) {
 		bulk := func(queries []string, k int) [][]lookup.Candidate {
 			return model.BulkLookup(queries, k, opts.Parallelism)
 		}
-		s.co = NewCoalescer(bulk, opts.MaxBatch, opts.Window)
+		bulkCtx := func(ctx context.Context, queries []string, k int) ([][]lookup.Candidate, error) {
+			return model.BulkLookupCtx(ctx, queries, k, opts.Parallelism)
+		}
+		s.co = NewCoalescer(bulk, opts.MaxBatch, opts.Window).WithBulkCtx(bulkCtx)
 		s.co.Observe(reg)
 	}
 	return s, nil
@@ -153,6 +157,48 @@ func (s *Serve) LookupTrace(tr *obs.Trace, q string, k int) []lookup.Candidate {
 	return res
 }
 
+// LookupCtx is Lookup with a deadline/cancellation context threaded
+// through the whole pipeline: a cache hit is served regardless (it is
+// already paid for), a miss checks ctx before starting, flushes its
+// coalescer batch no later than its deadline, and the scan itself is
+// cancelled mid-shard once ctx fires. With a context that can never be
+// cancelled this is exactly Lookup. A done context returns ctx.Err().
+func (s *Serve) LookupCtx(ctx context.Context, q string, k int) ([]lookup.Candidate, error) {
+	if ctx == nil || ctx.Done() == nil {
+		return s.Lookup(q, k), nil
+	}
+	if k <= 0 {
+		return nil, nil
+	}
+	t0 := time.Now()
+	norm := core.NormalizeMention(q)
+	s.stageNormalize.Since(t0)
+	if s.cache != nil {
+		if res, ok := s.cache.Get(norm, k); ok {
+			s.latency.Since(t0)
+			return res, nil
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var res []lookup.Candidate
+	var err error
+	if s.co != nil {
+		res, err = s.co.LookupCtx(ctx, norm, k)
+	} else {
+		res, err = s.model.LookupCtx(ctx, norm, k)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if s.cache != nil {
+		s.cache.Put(norm, k, res)
+	}
+	s.latency.Since(t0)
+	return res, nil
+}
+
 // BulkLookup answers an explicit batch: repeated mentions collapse onto one
 // computation, cache hits are served directly, and only the distinct misses
 // reach the model (hand-batched, bypassing the coalescer — the batch is
@@ -195,6 +241,58 @@ func (s *Serve) BulkLookup(queries []string, k int) [][]lookup.Candidate {
 		}
 	}
 	return out
+}
+
+// BulkLookupCtx is BulkLookup under the caller's context: cache hits are
+// served regardless, and the one model call for the distinct misses runs
+// cancellably. A context that can never be cancelled takes the exact
+// BulkLookup path.
+func (s *Serve) BulkLookupCtx(ctx context.Context, queries []string, k int) ([][]lookup.Candidate, error) {
+	if ctx == nil || ctx.Done() == nil {
+		return s.BulkLookup(queries, k), nil
+	}
+	out := make([][]lookup.Candidate, len(queries))
+	if len(queries) == 0 || k <= 0 {
+		return out, nil
+	}
+	norms := make([]string, len(queries))
+	hit := make([]bool, len(queries))
+	missIdx := make(map[string]int)
+	var misses []string
+	for i, q := range queries {
+		norms[i] = core.NormalizeMention(q)
+		if s.cache != nil {
+			if res, ok := s.cache.Get(norms[i], k); ok {
+				out[i], hit[i] = res, true
+				continue
+			}
+		}
+		if _, ok := missIdx[norms[i]]; !ok {
+			missIdx[norms[i]] = len(misses)
+			misses = append(misses, norms[i])
+		}
+	}
+	if len(misses) == 0 {
+		return out, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	results, err := s.model.BulkLookupCtx(ctx, misses, k, s.opts.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	for j, m := range misses {
+		if s.cache != nil {
+			s.cache.Put(m, k, results[j])
+		}
+	}
+	for i := range queries {
+		if !hit[i] {
+			out[i] = results[missIdx[norms[i]]]
+		}
+	}
+	return out, nil
 }
 
 // Stats is the serving substrate's observability snapshot, exposed by the

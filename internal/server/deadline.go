@@ -1,0 +1,31 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// DeadlineHeader carries the caller's remaining budget in milliseconds —
+// the cross-service deadline-propagation header (the ?deadline_ms= query
+// parameter is the curl-friendly equivalent and wins when both appear).
+const DeadlineHeader = "X-Emblookup-Deadline-Ms"
+
+// RequestDeadline extracts the caller's deadline budget from the request.
+// Returns (0, false, nil) when no deadline was asked for; a malformed
+// value is an error the handler should turn into a 400.
+func RequestDeadline(r *http.Request) (time.Duration, bool, error) {
+	s := r.URL.Query().Get("deadline_ms")
+	if s == "" {
+		s = r.Header.Get(DeadlineHeader)
+	}
+	if s == "" {
+		return 0, false, nil
+	}
+	ms, err := strconv.Atoi(s)
+	if err != nil || ms <= 0 {
+		return 0, false, fmt.Errorf(`"deadline_ms" must be a positive integer of milliseconds`)
+	}
+	return time.Duration(ms) * time.Millisecond, true, nil
+}

@@ -297,8 +297,15 @@ func (s *Server) graphRUnlock() {
 	}
 }
 
-func (s *Server) hits(tr *obs.Trace, q string, k int) []Hit {
+func (s *Server) hits(tr *obs.Trace, q string, k int, hybrid bool) []Hit {
 	res := s.lookupOne(tr, q, k)
+	if hybrid {
+		// Re-rank the embedding top-k by exact string similarity against the
+		// entity labels (DESIGN.md §15); the graph lock covers the label reads.
+		s.graphRLock()
+		res = serve.HybridRerank(q, res, s.graph.Label)
+		s.graphRUnlock()
+	}
 	hits := make([]Hit, len(res))
 	s.graphRLock()
 	for i, c := range res {
@@ -336,7 +343,7 @@ func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
 		tr = obs.NewTrace()
 	}
 	start := time.Now()
-	hits := s.hits(tr, q, k)
+	hits := s.hits(tr, q, k, r.URL.Query().Get("hybrid") == "1")
 	took := time.Since(start)
 	s.httpLookup.Observe(took)
 	if s.slowLog.Slow(took) {

@@ -1,0 +1,262 @@
+package tenant
+
+import (
+	"context"
+	"math"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"emblookup/internal/obs"
+)
+
+// Admission reasons a request can be rejected for.
+const (
+	ReasonRateLimited = "rate_limited"
+	ReasonQueueFull   = "queue_full"
+)
+
+// AdmitError is a structured admission rejection: the reason becomes the
+// error body and the metrics label, RetryAfter becomes the Retry-After
+// header — the contract that lets a well-behaved client back off exactly
+// as long as the bucket needs to refill.
+type AdmitError struct {
+	Tenant     string
+	Reason     string
+	RetryAfter time.Duration
+}
+
+func (e *AdmitError) Error() string {
+	return "tenant " + e.Tenant + ": admission rejected: " + e.Reason
+}
+
+// waiter is one caller parked in the admission queue. shed is written
+// under the admission mutex before ready is closed, so the woken goroutine
+// reads it race-free.
+type waiter struct {
+	ready chan struct{}
+	shed  bool
+}
+
+// Admission enforces one tenant's quota: a token-bucket rate gate, a
+// concurrency cap, and a bounded wait queue served newest-first (adaptive
+// LIFO — under overload the newest caller is the one whose client is still
+// listening, so it gets the next slot while the oldest waiter is shed with
+// 429 + Retry-After). The un-contended Acquire/Release pair is two mutex
+// hops and a clock read: zero allocations, which is what keeps the
+// admission path inside the lookup alloc budget.
+type Admission struct {
+	tenant string
+	limits Limits
+
+	mu         sync.Mutex
+	tokens     float64
+	lastRefill time.Time
+	active     int
+	queue      []*waiter // oldest at [0]; Release pops the newest
+
+	admitted   atomic.Int64
+	rejectedRL atomic.Int64 // rate_limited
+	rejectedQF atomic.Int64 // queue_full (shed)
+
+	// Registry handles, set by Observe; nil handles record nothing.
+	queueWait *obs.Histogram
+}
+
+// NewAdmission builds the admission gate for one tenant. Limits are taken
+// as configured (callers normally pass Limits.withDefaults() output via
+// the registry; a zero Limits means: no rate gate, 64 in-flight, 128
+// queued).
+func NewAdmission(tenantName string, l Limits) *Admission {
+	l = l.withDefaults()
+	return &Admission{
+		tenant:     tenantName,
+		limits:     l,
+		tokens:     l.Burst,
+		lastRefill: time.Now(),
+	}
+}
+
+// Limits returns the effective (default-filled) limits.
+func (a *Admission) Limits() Limits { return a.limits }
+
+// refillLocked advances the token bucket to now. Caller holds mu.
+func (a *Admission) refillLocked(now time.Time) {
+	if a.limits.RatePerSec <= 0 {
+		return
+	}
+	dt := now.Sub(a.lastRefill).Seconds()
+	if dt <= 0 {
+		return
+	}
+	a.tokens = math.Min(a.limits.Burst, a.tokens+dt*a.limits.RatePerSec)
+	a.lastRefill = now
+}
+
+// Acquire admits one request or rejects it. On success the caller holds a
+// concurrency slot and must call Release exactly once. Rejections are
+// *AdmitError (rate gate or shed from a full queue); a caller whose ctx
+// fires while queued gets ctx.Err(). The fast path — tokens available,
+// slot free — allocates nothing.
+func (a *Admission) Acquire(ctx context.Context) error {
+	now := time.Now()
+	a.mu.Lock()
+	a.refillLocked(now)
+	if a.limits.RatePerSec > 0 {
+		if a.tokens < 1 {
+			retry := time.Duration((1 - a.tokens) / a.limits.RatePerSec * float64(time.Second))
+			a.mu.Unlock()
+			a.rejectedRL.Add(1)
+			return &AdmitError{Tenant: a.tenant, Reason: ReasonRateLimited, RetryAfter: retry}
+		}
+		a.tokens--
+	}
+	if a.active < a.limits.MaxConcurrent {
+		a.active++
+		a.mu.Unlock()
+		a.admitted.Add(1)
+		return nil
+	}
+	// Cap reached: queue, shedding the oldest waiter if the queue is full.
+	if a.limits.QueueDepth <= 0 {
+		a.mu.Unlock()
+		a.rejectedQF.Add(1)
+		return &AdmitError{Tenant: a.tenant, Reason: ReasonQueueFull, RetryAfter: a.retryAfter()}
+	}
+	var shedded *waiter
+	if len(a.queue) >= a.limits.QueueDepth {
+		shedded = a.queue[0]
+		a.queue = a.queue[1:]
+		shedded.shed = true
+	}
+	w := &waiter{ready: make(chan struct{})}
+	a.queue = append(a.queue, w)
+	a.mu.Unlock()
+	if shedded != nil {
+		a.rejectedQF.Add(1)
+		close(shedded.ready)
+	}
+
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	select {
+	case <-w.ready:
+	case <-done:
+		// Left while queued — unless a grant or shed raced us out already.
+		a.mu.Lock()
+		for i, q := range a.queue {
+			if q == w {
+				a.queue = append(a.queue[:i], a.queue[i+1:]...)
+				a.mu.Unlock()
+				return ctx.Err()
+			}
+		}
+		a.mu.Unlock()
+		<-w.ready // resolved: a grant or a shed is already on the way
+	}
+	if w.shed {
+		return &AdmitError{Tenant: a.tenant, Reason: ReasonQueueFull, RetryAfter: a.retryAfter()}
+	}
+	// Granted a slot (Release handed it over without touching active).
+	if ctx != nil && ctx.Err() != nil {
+		a.Release()
+		return ctx.Err()
+	}
+	a.queueWait.Since(now)
+	a.admitted.Add(1)
+	return nil
+}
+
+// retryAfter estimates when a shed caller should try again: one full
+// service turn at the configured rate, or a nominal 50ms without one.
+func (a *Admission) retryAfter() time.Duration {
+	if a.limits.RatePerSec > 0 {
+		return time.Duration(float64(time.Second) / a.limits.RatePerSec)
+	}
+	return 50 * time.Millisecond
+}
+
+// Release returns a concurrency slot. If a waiter is parked the slot
+// passes directly to the *newest* one (LIFO) without ever decrementing
+// active — under sustained overload the queue drains newest-first while
+// the oldest waiters age toward the shed line.
+func (a *Admission) Release() {
+	a.mu.Lock()
+	if n := len(a.queue); n > 0 {
+		w := a.queue[n-1]
+		a.queue = a.queue[:n-1]
+		a.mu.Unlock()
+		close(w.ready)
+		return
+	}
+	a.active--
+	a.mu.Unlock()
+}
+
+// AdmissionStats is one tenant's admission snapshot.
+type AdmissionStats struct {
+	Admitted    int64 `json:"admitted"`
+	RateLimited int64 `json:"rateLimited"`
+	Shed        int64 `json:"shed"`
+	Active      int   `json:"active"`
+	Queued      int   `json:"queued"`
+}
+
+// Stats snapshots the admission counters and gauges.
+func (a *Admission) Stats() AdmissionStats {
+	a.mu.Lock()
+	active, queued := a.active, len(a.queue)
+	a.mu.Unlock()
+	return AdmissionStats{
+		Admitted:    a.admitted.Load(),
+		RateLimited: a.rejectedRL.Load(),
+		Shed:        a.rejectedQF.Load(),
+		Active:      active,
+		Queued:      queued,
+	}
+}
+
+// Observe wires the tenant-labeled admission metrics into reg: admitted
+// and rejected counters (rejections split by reason), live queue-depth and
+// in-flight gauges, and the queue-wait histogram. Call before serving.
+func (a *Admission) Observe(reg *obs.Registry) {
+	lbl := func(name string, kv ...string) string {
+		return obs.Labels(name, append([]string{"tenant", a.tenant}, kv...)...)
+	}
+	reg.CounterFunc(lbl("emblookup_tenant_admitted_total"), func() float64 {
+		return float64(a.admitted.Load())
+	})
+	reg.CounterFunc(lbl("emblookup_tenant_rejected_total", "reason", ReasonRateLimited), func() float64 {
+		return float64(a.rejectedRL.Load())
+	})
+	reg.CounterFunc(lbl("emblookup_tenant_rejected_total", "reason", ReasonQueueFull), func() float64 {
+		return float64(a.rejectedQF.Load())
+	})
+	reg.GaugeFunc(lbl("emblookup_tenant_active"), func() float64 {
+		a.mu.Lock()
+		v := a.active
+		a.mu.Unlock()
+		return float64(v)
+	})
+	reg.GaugeFunc(lbl("emblookup_tenant_queued"), func() float64 {
+		a.mu.Lock()
+		v := len(a.queue)
+		a.mu.Unlock()
+		return float64(v)
+	})
+	a.queueWait = reg.Histogram(lbl("emblookup_tenant_queue_wait_seconds"))
+}
+
+// RetryAfterHeader renders a RetryAfter duration as the integer seconds
+// the Retry-After header wants, rounding up so "try again in 100ms" never
+// becomes "now".
+func RetryAfterHeader(d time.Duration) string {
+	s := int64(math.Ceil(d.Seconds()))
+	if s < 1 {
+		s = 1
+	}
+	return strconv.FormatInt(s, 10)
+}

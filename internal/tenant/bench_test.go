@@ -1,0 +1,40 @@
+package tenant
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkAdmissionAcquireRelease measures the uncontended admission fast
+// path — the per-request overhead every tenant-routed lookup pays. The
+// budget is zero allocations (asserted by TestTenantAdmissionAllocs at the
+// repo root); `make verify` runs this with -benchmem so any drift shows up
+// in the allocs/op column.
+func BenchmarkAdmissionAcquireRelease(b *testing.B) {
+	adm := NewAdmission("bench", Limits{RatePerSec: 1e9, MaxConcurrent: 64})
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := adm.Acquire(ctx); err != nil {
+			b.Fatal(err)
+		}
+		adm.Release()
+	}
+}
+
+// BenchmarkAdmissionRejected measures the cost of a shed request — the 429
+// path must stay far cheaper than an admitted lookup for overload shedding
+// to protect goodput.
+func BenchmarkAdmissionRejected(b *testing.B) {
+	adm := NewAdmission("bench", Limits{RatePerSec: 0.001, Burst: 1, MaxConcurrent: 1, QueueDepth: -1})
+	ctx := context.Background()
+	adm.Acquire(ctx) // drain the single burst token
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := adm.Acquire(ctx); err == nil {
+			b.Fatal("over-budget acquire admitted")
+		}
+	}
+}

@@ -2,9 +2,9 @@
 # bench_compare.sh — regenerate the benchmark snapshots into a scratch
 # directory and diff them against the committed BENCH_lookup.json /
 # BENCH_serve.json / BENCH_build.json / BENCH_cluster.json /
-# BENCH_replica.json / BENCH_scale.json with cmd/benchcompare. Exits non-zero
-# when any timing metric regressed by more than 20%. `make bench-compare`
-# runs this.
+# BENCH_replica.json / BENCH_scale.json / BENCH_tenant.json with
+# cmd/benchcompare. Exits non-zero when any timing metric regressed by more
+# than 20%. `make bench-compare` runs this.
 #
 # The build and scale snapshots regenerate at 100k entities (the committed
 # BENCH_scale.json additionally carries a 1M row; rows missing from the
@@ -24,6 +24,7 @@ go run ./cmd/benchkg -bench-build "$tmp/BENCH_build.json" -entities 100000
 go run ./cmd/benchkg -bench-cluster "$tmp/BENCH_cluster.json"
 go run ./cmd/benchkg -bench-replica "$tmp/BENCH_replica.json"
 go run ./cmd/benchkg -bench-scale "$tmp/BENCH_scale.json" -scales 10000,100000
+go run ./cmd/benchkg -bench-tenant "$tmp/BENCH_tenant.json"
 
 echo "== lookup snapshot vs committed =="
 go run ./cmd/benchcompare BENCH_lookup.json "$tmp/BENCH_lookup.json"
@@ -42,5 +43,8 @@ go run ./cmd/benchcompare BENCH_replica.json "$tmp/BENCH_replica.json"
 
 echo "== scale snapshot vs committed =="
 go run ./cmd/benchcompare BENCH_scale.json "$tmp/BENCH_scale.json"
+
+echo "== tenant snapshot vs committed =="
+go run ./cmd/benchcompare BENCH_tenant.json "$tmp/BENCH_tenant.json"
 
 echo "bench-compare: OK"

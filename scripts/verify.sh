@@ -84,4 +84,15 @@ echo "== replica benchmarks (short) =="
 go test -run '^$' -bench 'BenchmarkReplicaLookup' \
     -benchtime 10x ./internal/replica
 
+echo "== tenant admission benchmarks (short) =="
+# The multi-tenant admission gate (DESIGN.md §15): the uncontended
+# Acquire/Release pair must stay allocation-free (TestTenantAdmissionAllocs
+# asserts admitted lookups cost ≤1 alloc over the single-tenant budget; it
+# runs with the race suite above) and the 429 shed path must stay cheap.
+# The full multi-tenant isolation scenario (abusive tenant throttled,
+# well-behaved p99, shed curve) lives in BENCH_tenant.json and is diffed
+# by `make bench-compare`.
+go test -run '^$' -bench 'BenchmarkAdmission' \
+    -benchmem -benchtime 100x ./internal/tenant
+
 echo "verify: OK"
